@@ -1,0 +1,23 @@
+# Convenience targets; everything is plain dune underneath.
+
+all:
+	dune build @all
+
+test:
+	dune runtest
+
+test-verbose:
+	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+
+bench:
+	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+examples:
+	for e in quickstart kv_cache process_launch sparse_analytics \
+	         durable_log shared_pointers external_sort; do \
+	  echo "== $$e"; dune exec examples/$$e.exe; done
+
+clean:
+	dune clean
+
+.PHONY: all test test-verbose bench examples clean

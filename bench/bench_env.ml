@@ -1,0 +1,54 @@
+(* Shared fixtures for the experiment harness: fresh machines per data
+   point so measurements never contaminate each other, and helpers to
+   read the simulated clock. *)
+
+module K = Os.Kernel
+module F = O1mem.Fom
+
+let config ?(dram = Sim.Units.mib 512) ?(nvm = Sim.Units.gib 2) ?(levels = 4)
+    ?(walk_mode = Hw.Walker.Native) ?(reclaim = Os.Reclaim.Clock) () =
+  {
+    K.default_config with
+    K.dram_bytes = dram;
+    nvm_bytes = nvm;
+    levels;
+    walk_mode;
+    reclaim_policy = reclaim;
+  }
+
+let kernel ?dram ?nvm ?levels ?walk_mode ?reclaim () =
+  K.create ~config:(config ?dram ?nvm ?levels ?walk_mode ?reclaim ()) ()
+
+let kernel_and_fom ?dram ?nvm ?strategy () =
+  let k = kernel ?dram ?nvm () in
+  (k, F.create k ?strategy ())
+
+(* Simulated cycles spent in [f], on [k]'s clock. *)
+let cycles k f =
+  let clock = K.clock k in
+  let before = Sim.Clock.now clock in
+  f ();
+  Sim.Clock.elapsed clock ~since:before
+
+let us k c = Sim.Clock.us (K.clock k) c
+
+(* Simulated microseconds spent in [f]. *)
+let time_us k f = us k (cycles k f)
+
+let stat k name = Sim.Stats.get (K.stats k) name
+
+(* Make a tmpfs file of [bytes] and return (fs, path). *)
+let tmpfs_file k ~bytes =
+  let fs = K.tmpfs k in
+  let ino = Fs.Memfs.create_file fs "/bench-file" ~persistence:Fs.Inode.Volatile in
+  Fs.Memfs.extend fs ino ~bytes_wanted:bytes;
+  (fs, "/bench-file", ino)
+
+let touch_pages_kernel k p ~va ~len ~write =
+  ignore (K.access_range k p ~va ~len ~write ~stride:Sim.Units.page_size)
+
+let touch_pages_fom fom p ~va ~len ~write =
+  ignore (F.access_range fom p ~va ~len ~write ~stride:Sim.Units.page_size)
+
+let print_header title what =
+  Printf.printf "\n#### %s\n%s\n\n" title what

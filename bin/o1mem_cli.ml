@@ -1,0 +1,238 @@
+(* Command-line front end for the o1mem simulator.
+
+   o1mem_cli experiments [-o GROUP]   regenerate the paper's tables/figures
+   o1mem_cli study ...                run the FS-utilization fleet model
+   o1mem_cli walkrefs ...             translation reference counts
+   o1mem_cli simulate ...             one-off alloc+touch measurement *)
+
+open Cmdliner
+
+(* ------------------------- experiments ---------------------------- *)
+
+let groups =
+  [
+    ("mapping", Experiments.Exp_mapping.run);
+    ("alloc", Experiments.Exp_alloc.run);
+    ("sharing", Experiments.Exp_sharing.run);
+    ("range", Experiments.Exp_range.run);
+    ("os", Experiments.Exp_os.run);
+    ("ablation", Experiments.Exp_ablation.run);
+  ]
+
+let experiments only =
+  Format.printf "%a@." Sim.Cost_model.pp Sim.Cost_model.default;
+  let selected =
+    match only with
+    | [] -> groups
+    | names ->
+      List.filter_map
+        (fun n ->
+          match List.assoc_opt n groups with
+          | Some f -> Some (n, f)
+          | None ->
+            Printf.eprintf "unknown group %S (have: %s)\n" n
+              (String.concat ", " (List.map fst groups));
+            None)
+        names
+  in
+  List.iter (fun (_, f) -> f ()) selected
+
+let only_arg =
+  let doc = "Run only this experiment group (mapping, alloc, sharing, range, os, ablation); repeatable." in
+  Arg.(value & opt_all string [] & info [ "o"; "only" ] ~docv:"GROUP" ~doc)
+
+let experiments_cmd =
+  let doc = "Regenerate the paper's tables and figures (simulated time)" in
+  Cmd.v (Cmd.info "experiments" ~doc) Term.(const experiments $ only_arg)
+
+(* ----------------------------- study ------------------------------ *)
+
+let study machines years growth seed =
+  let params =
+    {
+      Wl.Fs_study.default_params with
+      Wl.Fs_study.machines;
+      years;
+      annual_data_growth = growth;
+    }
+  in
+  let r = Wl.Fs_study.run ~rng:(Sim.Rng.create ~seed) params in
+  Printf.printf "fleet: %d machines, %d years, +%.0f%%/year data growth\n" machines years
+    (100.0 *. growth);
+  Printf.printf "mean utilization:   %.3f\n" r.Wl.Fs_study.mean_utilization;
+  Printf.printf "median utilization: %.3f\n" r.Wl.Fs_study.median_utilization;
+  Printf.printf "fraction below 50%%: %.3f  (%d samples)\n" r.Wl.Fs_study.fraction_below_half
+    r.Wl.Fs_study.samples
+
+let study_cmd =
+  let doc = "Run the Agrawal-style file-system utilization fleet model (E11)" in
+  let machines = Arg.(value & opt int 500 & info [ "machines" ] ~doc:"Fleet size.") in
+  let years = Arg.(value & opt int 5 & info [ "years" ] ~doc:"Simulated years.") in
+  let growth = Arg.(value & opt float 0.45 & info [ "growth" ] ~doc:"Annual data growth.") in
+  let seed = Arg.(value & opt int 2017 & info [ "seed" ] ~doc:"RNG seed.") in
+  Cmd.v (Cmd.info "study" ~doc) Term.(const study $ machines $ years $ growth $ seed)
+
+(* --------------------------- walkrefs ------------------------------ *)
+
+let walkrefs levels nested =
+  let mode = match nested with None -> Hw.Walker.Native | Some h -> Hw.Walker.Virtualized h in
+  List.iter
+    (fun (label, size) ->
+      let depth = levels - 1 - Hw.Page_size.depth_above_leaf size in
+      Printf.printf "%-8s leaf: %2d memory references per TLB miss\n" label
+        (Hw.Walker.refs_for_walk ~guest_levels:levels ~leaf_depth:depth ~mode))
+    [ ("4K", Hw.Page_size.Small); ("2M", Hw.Page_size.Huge_2m); ("1G", Hw.Page_size.Huge_1g) ]
+
+let walkrefs_cmd =
+  let doc = "Print translation reference counts for a paging configuration (E10)" in
+  let levels =
+    Arg.(value & opt int 4 & info [ "levels" ] ~doc:"Page-table levels (4 or 5).")
+  in
+  let nested =
+    Arg.(value & opt (some int) None & info [ "nested" ] ~doc:"Host levels when virtualized.")
+  in
+  Cmd.v (Cmd.info "walkrefs" ~doc) Term.(const walkrefs $ levels $ nested)
+
+(* --------------------------- simulate ------------------------------ *)
+
+let simulate size_mb strategy_name touch =
+  let strategy =
+    match strategy_name with
+    | "per-page" -> O1mem.Fom.Per_page
+    | "huge" -> O1mem.Fom.Huge_pages
+    | "subtree" -> O1mem.Fom.Shared_subtree
+    | "range" -> O1mem.Fom.Range_translation
+    | s -> failwith ("unknown strategy: " ^ s ^ " (per-page|huge|subtree|range)")
+  in
+  let k = Experiments.Bench_env.kernel ~nvm:(Sim.Units.gib 4) () in
+  let fom = O1mem.Fom.create k ~strategy () in
+  let p = Os.Kernel.create_process k ~range_translations:(strategy = O1mem.Fom.Range_translation) () in
+  let len = Sim.Units.mib size_mb in
+  let t_alloc =
+    Experiments.Bench_env.time_us k (fun () ->
+        ignore (O1mem.Fom.alloc fom p ~name:"/sim" ~len ~prot:Hw.Prot.rw ()))
+  in
+  Printf.printf "alloc+map %s via %s: %.2f us\n" (Sim.Units.bytes_to_string len) strategy_name
+    t_alloc;
+  if touch then begin
+    let r = Option.get (O1mem.Fom.region_of fom p ~va:(O1mem.Fom.map_path fom p "/sim").O1mem.Fom.va) in
+    let t_touch =
+      Experiments.Bench_env.time_us k (fun () ->
+          Experiments.Bench_env.touch_pages_fom fom p ~va:r.O1mem.Fom.va ~len ~write:true)
+    in
+    Printf.printf "touch every page: %.2f us\n" t_touch
+  end;
+  let stats = Os.Kernel.stats k in
+  List.iter
+    (fun key ->
+      let v = Sim.Stats.get stats key in
+      if v > 0 then Printf.printf "  %-20s %d\n" key v)
+    [ "pte_write"; "fom_grafts"; "range_table_op"; "page_fault"; "tlb_miss"; "fs_extend" ]
+
+let simulate_cmd =
+  let doc = "Allocate and map a region under a chosen strategy and report costs" in
+  let size = Arg.(value & opt int 64 & info [ "size" ] ~doc:"Region size in MiB.") in
+  let strategy =
+    Arg.(value & opt string "subtree" & info [ "strategy" ] ~doc:"per-page|huge|subtree|range.")
+  in
+  let touch = Arg.(value & flag & info [ "touch" ] ~doc:"Also touch every page.") in
+  Cmd.v (Cmd.info "simulate" ~doc) Term.(const simulate $ size $ strategy $ touch)
+
+(* ----------------------------- churn ------------------------------- *)
+
+let churn backend ops max_kib seed =
+  let rng = Sim.Rng.create ~seed in
+  let trace = Wl.Churn.generate ~rng ~ops ~max_bytes:(Sim.Units.kib max_kib) () in
+  let k = Experiments.Bench_env.kernel ~dram:(Sim.Units.gib 2) ~nvm:(Sim.Units.gib 2) () in
+  let run_with driver =
+    let clock = Os.Kernel.clock k in
+    let before = Sim.Clock.now clock in
+    let n = Wl.Churn.run trace driver in
+    (n, Sim.Clock.us clock (Sim.Clock.elapsed clock ~since:before))
+  in
+  let n, us, footprint =
+    match backend with
+    | "malloc" ->
+      let p = Os.Kernel.create_process k () in
+      let h = Heap.Malloc_sim.create k p in
+      let n, us =
+        run_with
+          {
+            Wl.Churn.h_malloc = (fun ~bytes -> Heap.Malloc_sim.malloc h ~bytes);
+            h_free = (fun va -> Heap.Malloc_sim.free h va);
+            h_touch =
+              (fun ~va ~bytes ->
+                ignore
+                  (Os.Kernel.access_range k p ~va ~len:(max 1 bytes) ~write:true
+                     ~stride:Sim.Units.page_size));
+          }
+      in
+      (n, us, Heap.Malloc_sim.footprint_bytes h)
+    | "tcmalloc" ->
+      let p = Os.Kernel.create_process k () in
+      let h = Heap.Tcmalloc_sim.create k p () in
+      let next = ref 0 in
+      let owner = Hashtbl.create 64 in
+      let n, us =
+        run_with
+          {
+            Wl.Churn.h_malloc =
+              (fun ~bytes ->
+                let th = !next mod 4 in
+                incr next;
+                let va = Heap.Tcmalloc_sim.malloc h ~thread:th ~bytes in
+                Hashtbl.replace owner va th;
+                va);
+            h_free =
+              (fun va ->
+                Heap.Tcmalloc_sim.free h ~thread:(Option.value (Hashtbl.find_opt owner va) ~default:0) va);
+            h_touch =
+              (fun ~va ~bytes ->
+                ignore
+                  (Os.Kernel.access_range k p ~va ~len:(max 1 bytes) ~write:true
+                     ~stride:Sim.Units.page_size));
+          }
+      in
+      (n, us, Heap.Tcmalloc_sim.footprint_bytes h)
+    | "fom" ->
+      let fom = O1mem.Fom.create k () in
+      let p = Os.Kernel.create_process k () in
+      let h = Heap.Fom_heap.create fom p () in
+      let n, us =
+        run_with
+          {
+            Wl.Churn.h_malloc = (fun ~bytes -> Heap.Fom_heap.malloc h ~bytes);
+            h_free = (fun va -> Heap.Fom_heap.free h va);
+            h_touch =
+              (fun ~va ~bytes ->
+                ignore
+                  (O1mem.Fom.access_range fom p ~va ~len:(max 1 bytes) ~write:true
+                     ~stride:Sim.Units.page_size));
+          }
+      in
+      (n, us, Heap.Fom_heap.footprint_bytes h)
+    | other -> failwith ("unknown backend: " ^ other ^ " (malloc|tcmalloc|fom)")
+  in
+  Printf.printf "backend %-8s  %d ops in %.1f us simulated, footprint %s
+" backend n us
+    (Sim.Units.bytes_to_string footprint);
+  List.iter
+    (fun key ->
+      let v = Sim.Stats.get (Os.Kernel.stats k) key in
+      if v > 0 then Printf.printf "  %-16s %d
+" key v)
+    [ "page_fault"; "minor_fault"; "pte_write"; "fom_grafts"; "syscall" ]
+
+let churn_cmd =
+  let doc = "Replay an allocation-churn trace on a chosen heap backend" in
+  let backend = Arg.(value & opt string "fom" & info [ "backend" ] ~doc:"malloc|tcmalloc|fom.") in
+  let ops = Arg.(value & opt int 500 & info [ "ops" ] ~doc:"Operations in the trace.") in
+  let max_kib = Arg.(value & opt int 256 & info [ "max-kib" ] ~doc:"Largest object, KiB.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.") in
+  Cmd.v (Cmd.info "churn" ~doc) Term.(const churn $ backend $ ops $ max_kib $ seed)
+
+let () =
+  let doc = "file-only memory simulator (reproduction of 'Towards O(1) Memory', HotOS'17)" in
+  let info = Cmd.info "o1mem_cli" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval (Cmd.group info [ experiments_cmd; study_cmd; walkrefs_cmd; simulate_cmd; churn_cmd ]))

@@ -1,0 +1,32 @@
+(** File-system style bitmap free-space manager.
+
+    One bit per frame, next-fit search for contiguous runs — the
+    mechanism the paper credits file systems with: "unused blocks are
+    represented by a single bit in a bitmap, as compared to the complex
+    per-page metadata maintained by memory management systems". *)
+
+type t
+
+val create : mem:Physmem.Phys_mem.t -> first:Physmem.Frame.t -> count:int -> t
+
+val alloc_contig : t -> count:int -> Physmem.Frame.t option
+(** Find and claim a run of [count] contiguous free frames (next-fit,
+    wrapping once). *)
+
+val free_range : t -> first:Physmem.Frame.t -> count:int -> unit
+(** Mark a run free. Raises [Invalid_argument] if any frame is already
+    free or out of range. *)
+
+val is_free : t -> Physmem.Frame.t -> bool
+val free_frames : t -> int
+val total_frames : t -> int
+
+val utilization : t -> float
+(** Fraction of frames allocated, in [0, 1]. *)
+
+val largest_free_run : t -> int
+(** Length of the longest free run (O(n) scan; diagnostics only). *)
+
+val metadata_bytes : t -> int
+(** Size of the bitmap itself: one bit per frame, rounded up. Used by the
+    metadata-overhead experiment (E13). *)

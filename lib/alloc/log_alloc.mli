@@ -1,0 +1,46 @@
+(** Log-structured memory allocator (after Rumble et al., FAST '14).
+
+    The paper cites log-structured memory as an existing design that
+    "wastes space for improved performance": allocation is a pointer bump
+    into the head segment (O(1)); space is reclaimed by a cleaner that
+    copies live objects out of lightly-used segments. Objects are
+    referenced through stable handles so that cleaning can relocate them. *)
+
+type t
+
+type handle
+(** Stable reference to a live allocation; survives cleaning. *)
+
+val create :
+  mem:Physmem.Phys_mem.t -> backing:Extent_alloc.t -> ?segment_frames:int -> unit -> t
+(** [segment_frames] defaults to 2048 (8 MiB segments, as in RAMCloud). *)
+
+val alloc : t -> bytes:int -> handle option
+(** Bump-allocate. Opens a new segment from the backing extent allocator
+    when the head is full; [None] when backing space is exhausted and
+    cleaning cannot help. Objects larger than a segment are rejected
+    with [Invalid_argument]. *)
+
+val free : t -> handle -> unit
+(** Mark the object dead (tombstone); space is reclaimed by the cleaner.
+    Raises [Invalid_argument] on double free. *)
+
+val addr_of : t -> handle -> int
+(** Current physical address of a live object. Raises [Not_found] after
+    [free]. *)
+
+val size_of : t -> handle -> int
+
+val clean : t -> max_segments:int -> int
+(** Run the cleaner on up to [max_segments] of the emptiest closed
+    segments: live objects are copied to the head (charging copy cost)
+    and the segments returned to the backing allocator. Returns segments
+    reclaimed. *)
+
+val live_bytes : t -> int
+val footprint_bytes : t -> int
+(** Bytes held in segments (including dead space — the waste). *)
+
+val segment_count : t -> int
+val utilization : t -> float
+(** live/footprint, 0 when empty. *)

@@ -1,0 +1,35 @@
+type report = {
+  files_scanned : int;
+  masters_kept : int;
+  masters_dropped : int;
+  recovery_cycles : int;
+}
+
+let crash fom =
+  let kernel = Fom.kernel fom in
+  (* Processes die with the machine: no orderly teardown, no unmap cost. *)
+  Physmem.Phys_mem.crash (Os.Kernel.mem kernel);
+  Fs.Memfs.crash (Os.Kernel.tmpfs kernel);
+  (match Os.Kernel.pmfs kernel with Some p -> Fs.Memfs.crash p | None -> ());
+  Fom.reset_after_crash fom;
+  Sim.Stats.incr (Os.Kernel.stats kernel) "machine_crash"
+
+let recover fom =
+  let kernel = Fom.kernel fom in
+  let clock = Os.Kernel.clock kernel in
+  let before = Sim.Clock.now clock in
+  let files_scanned =
+    match Os.Kernel.pmfs kernel with Some p -> Fs.Memfs.recover p | None -> 0
+  in
+  let dropped = Shared_pt.prune_dead (Fom.shared_pt fom) ~fs:(Fom.fs fom) in
+  let kept = Shared_pt.master_count (Fom.shared_pt fom) in
+  {
+    files_scanned;
+    masters_kept = kept;
+    masters_dropped = dropped;
+    recovery_cycles = Sim.Clock.elapsed clock ~since:before;
+  }
+
+let crash_and_recover fom =
+  crash fom;
+  recover fom

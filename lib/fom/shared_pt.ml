@@ -1,0 +1,107 @@
+type master = {
+  table : Hw.Page_table.t;
+  ino : int;
+  prot : Hw.Prot.t;
+  windows : int;
+  window_bytes : int;  (* 2 MiB, or 1 GiB for GiB-scale files *)
+}
+
+type t = { kernel : Os.Kernel.t; masters : (int * Hw.Prot.t, master) Hashtbl.t }
+
+(* Every master maps its file at the same fixed, 1 GiB-aligned VA, so
+   window w of any file always begins at a 2 MiB boundary with offset 0. *)
+let master_base = 0x4000_0000_0000
+
+
+let create kernel = { kernel; masters = Hashtbl.create 16 }
+
+let alloc_pt_frame t () =
+  match Alloc.Buddy.alloc (Os.Kernel.buddy t.kernel) ~order:0 with
+  | Some pfn -> pfn
+  | None -> failwith "OOM: master page-table frame"
+
+let build_master t ~fs ~ino ~prot =
+  let clock = Os.Kernel.clock t.kernel in
+  let stats = Os.Kernel.stats t.kernel in
+  let levels = (Os.Kernel.config t.kernel).Os.Kernel.levels in
+  let table =
+    Hw.Page_table.create ~clock ~stats ~levels ~alloc_frame:(alloc_pt_frame t)
+  in
+  let node = Fs.Memfs.inode fs ino in
+  (* 4 KiB leaves throughout: grafting shares the leaf-holding nodes, so
+     the master must not collapse windows into huge-page leaves. *)
+  Fs.Extent_tree.iter (Fs.Inode.extents node) (fun e ->
+      ignore
+        (Hw.Page_table.map_range table
+           ~va:(master_base + (e.Fs.Extent.logical * Sim.Units.page_size))
+           ~pfn:e.Fs.Extent.start
+           ~len:(e.Fs.Extent.count * Sim.Units.page_size)
+           ~prot ~huge:false));
+  let file_bytes = Fs.Extent_tree.pages (Fs.Inode.extents node) * Sim.Units.page_size in
+  (* GiB-scale files graft whole GiB subtrees: even fewer pointers. *)
+  let window_bytes =
+    if file_bytes >= Sim.Units.huge_1g then Sim.Units.huge_1g else Sim.Units.huge_2m
+  in
+  let windows = (file_bytes + window_bytes - 1) / window_bytes in
+  Sim.Stats.incr stats "fom_master_built";
+  { table; ino; prot; windows; window_bytes }
+
+let master_for t ~fs ~ino ~prot =
+  match Hashtbl.find_opt t.masters (ino, prot) with
+  | Some m -> m
+  | None ->
+    let m = build_master t ~fs ~ino ~prot in
+    Hashtbl.replace t.masters (ino, prot) m;
+    m
+
+let graft_depth m =
+  let levels = Hw.Page_table.levels m.table in
+  if m.window_bytes = Sim.Units.huge_1g then levels - 2 else levels - 1
+
+let graft t m ~dst ~dst_va =
+  if not (Sim.Units.is_aligned dst_va ~align:m.window_bytes) then
+    invalid_arg "Shared_pt.graft: destination not aligned to the graft window";
+  let depth = graft_depth m in
+  for w = 0 to m.windows - 1 do
+    Hw.Page_table.share_subtree ~src:m.table
+      ~src_va:(master_base + (w * m.window_bytes))
+      ~dst
+      ~dst_va:(dst_va + (w * m.window_bytes))
+      ~depth
+  done;
+  Sim.Stats.add (Os.Kernel.stats t.kernel) "fom_grafts" m.windows;
+  m.windows
+
+let ungraft t m ~dst ~dst_va =
+  let depth = graft_depth m in
+  for w = 0 to m.windows - 1 do
+    Hw.Page_table.unshare dst ~va:(dst_va + (w * m.window_bytes)) ~depth
+  done;
+  Sim.Stats.add (Os.Kernel.stats t.kernel) "fom_ungrafts" m.windows;
+  m.windows
+
+let windows m = m.windows
+let window_bytes m = m.window_bytes
+
+let drop_masters_for t ~ino =
+  let doomed =
+    Hashtbl.fold (fun (i, p) _ acc -> if i = ino then (i, p) :: acc else acc) t.masters []
+  in
+  List.iter (Hashtbl.remove t.masters) doomed
+
+let master_count t = Hashtbl.length t.masters
+
+let metadata_bytes t =
+  Hashtbl.fold (fun _ m acc -> acc + Hw.Page_table.metadata_bytes m.table) t.masters 0
+
+let prune_dead t ~fs =
+  let doomed =
+    Hashtbl.fold
+      (fun key m acc ->
+        match Fs.Memfs.inode fs m.ino with
+        | (_ : Fs.Inode.t) -> acc
+        | exception Not_found -> key :: acc)
+      t.masters []
+  in
+  List.iter (Hashtbl.remove t.masters) doomed;
+  List.length doomed

@@ -1,0 +1,101 @@
+let large_threshold = Sim.Units.kib 128
+let min_class = 16
+let classes = 14
+
+type t = {
+  fom : O1mem.Fom.t;
+  proc : Os.Proc.t;
+  arena_bytes : int;
+  free_lists : int list array;
+  live : (int, int) Hashtbl.t; (* va -> size *)
+  large_regions : (int, O1mem.Fom.region) Hashtbl.t; (* va -> region *)
+  mutable arena_regions : O1mem.Fom.region list;
+  mutable arena_cursor : int;
+  mutable arena_tail : int;
+  mutable live_bytes : int;
+}
+
+let create fom proc ?(arena_bytes = Sim.Units.mib 1) () =
+  {
+    fom;
+    proc;
+    arena_bytes;
+    free_lists = Array.make classes [];
+    live = Hashtbl.create 256;
+    large_regions = Hashtbl.create 16;
+    arena_regions = [];
+    arena_cursor = 0;
+    arena_tail = 0;
+    live_bytes = 0;
+  }
+
+let class_of bytes =
+  let rec loop k size = if size >= bytes then k else loop (k + 1) (size * 2) in
+  loop 0 min_class
+
+let class_size k = min_class lsl k
+
+let grow_arena t =
+  let r = O1mem.Fom.alloc t.fom t.proc ~len:t.arena_bytes ~prot:Hw.Prot.rw () in
+  t.arena_regions <- r :: t.arena_regions;
+  t.arena_cursor <- r.O1mem.Fom.va;
+  t.arena_tail <- r.O1mem.Fom.va + r.O1mem.Fom.len
+
+let malloc t ~bytes =
+  if bytes <= 0 then invalid_arg "Fom_heap.malloc: non-positive size";
+  if bytes >= large_threshold then begin
+    let r = O1mem.Fom.alloc t.fom t.proc ~len:bytes ~prot:Hw.Prot.rw () in
+    Hashtbl.replace t.large_regions r.O1mem.Fom.va r;
+    Hashtbl.replace t.live r.O1mem.Fom.va r.O1mem.Fom.len;
+    t.live_bytes <- t.live_bytes + r.O1mem.Fom.len;
+    r.O1mem.Fom.va
+  end
+  else begin
+    let k = class_of bytes in
+    let size = class_size k in
+    match t.free_lists.(k) with
+    | va :: rest ->
+      t.free_lists.(k) <- rest;
+      Hashtbl.replace t.live va size;
+      t.live_bytes <- t.live_bytes + size;
+      va
+    | [] ->
+      if t.arena_cursor + size > t.arena_tail then grow_arena t;
+      let va = t.arena_cursor in
+      t.arena_cursor <- va + size;
+      Hashtbl.replace t.live va size;
+      t.live_bytes <- t.live_bytes + size;
+      va
+  end
+
+let free t va =
+  match Hashtbl.find_opt t.live va with
+  | None -> invalid_arg "Fom_heap.free: unknown block"
+  | Some size ->
+    Hashtbl.remove t.live va;
+    t.live_bytes <- t.live_bytes - size;
+    (match Hashtbl.find_opt t.large_regions va with
+    | Some r ->
+      Hashtbl.remove t.large_regions va;
+      O1mem.Fom.free t.fom t.proc r
+    | None -> t.free_lists.(class_of size) <- va :: t.free_lists.(class_of size))
+
+let size_of t va = Hashtbl.find_opt t.live va
+let live_bytes t = t.live_bytes
+
+let footprint_bytes t =
+  List.fold_left (fun acc (r : O1mem.Fom.region) -> acc + r.O1mem.Fom.len) 0 t.arena_regions
+  + Hashtbl.fold (fun _ (r : O1mem.Fom.region) acc -> acc + r.O1mem.Fom.len) t.large_regions 0
+
+let region_count t = List.length t.arena_regions + Hashtbl.length t.large_regions
+
+let destroy t =
+  List.iter (fun r -> O1mem.Fom.free t.fom t.proc r) t.arena_regions;
+  Hashtbl.iter (fun _ r -> O1mem.Fom.free t.fom t.proc r) t.large_regions;
+  t.arena_regions <- [];
+  Hashtbl.reset t.large_regions;
+  Hashtbl.reset t.live;
+  Array.fill t.free_lists 0 classes [];
+  t.live_bytes <- 0;
+  t.arena_cursor <- 0;
+  t.arena_tail <- 0

@@ -1,0 +1,23 @@
+(** A user heap backed by file-only memory: the heap segment is a file.
+
+    Small requests are carved from file-backed arena regions mapped whole
+    at creation (no demand faults, ever); large requests get a file of
+    their own. Allocation latency is therefore flat: the mapping work was
+    O(extents) up front and the fault machinery is gone. *)
+
+type t
+
+val create : O1mem.Fom.t -> Os.Proc.t -> ?arena_bytes:int -> unit -> t
+
+val malloc : t -> bytes:int -> int
+val free : t -> int -> unit
+val size_of : t -> int -> int option
+
+val live_bytes : t -> int
+val footprint_bytes : t -> int
+val region_count : t -> int
+(** Files currently backing the heap. *)
+
+val destroy : t -> unit
+(** Free every backing file (heap teardown = a handful of whole-file
+    frees, the paper's process-exit story). *)

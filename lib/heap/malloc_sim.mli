@@ -1,0 +1,34 @@
+(** A dlmalloc-style user heap over the baseline kernel (the paper's
+    "malloc" comparator, Figure 2/7).
+
+    Small requests are carved from demand-paged anonymous arenas with
+    segregated power-of-two free lists; large requests go straight to
+    [mmap(MAP_ANONYMOUS)]. Pages are touched only when the program
+    touches them — exactly the behaviour whose fault costs Figure 7
+    prices. *)
+
+type t
+
+val create : Os.Kernel.t -> Os.Proc.t -> t
+
+val malloc : t -> bytes:int -> int
+(** Returns the block's VA. *)
+
+val free : t -> int -> unit
+(** Raises [Invalid_argument] for an unknown or already-freed VA. *)
+
+val size_of : t -> int -> int option
+(** Usable size of a live block. *)
+
+val live_bytes : t -> int
+val footprint_bytes : t -> int
+(** Virtual memory reserved from the kernel (arenas + large blocks). *)
+
+val trim : t -> int
+(** Release the physical pages under free blocks back to the kernel with
+    MADV_DONTNEED (blocks of a page or larger only). Returns pages
+    released. This is the per-page housekeeping the paper notes heaps
+    must do today ("the heap need not identify unused pages to release
+    with madvise()" under file-only memory). *)
+
+val arena_count : t -> int

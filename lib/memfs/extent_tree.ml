@@ -1,0 +1,66 @@
+module IntMap = Map.Make (Int)
+
+type t = { mutable by_logical : Extent.t IntMap.t; mutable pages : int }
+
+let create () = { by_logical = IntMap.empty; pages = 0 }
+
+let last t = IntMap.max_binding_opt t.by_logical
+
+let append t ~start ~count =
+  if count <= 0 then invalid_arg "Extent_tree.append: non-positive count";
+  let logical = t.pages in
+  let ext = { Extent.logical; start; count } in
+  (match last t with
+  | Some (k, prev) when Extent.mergeable prev ext ->
+    t.by_logical <- IntMap.add k (Extent.merge prev ext) t.by_logical
+  | _ -> t.by_logical <- IntMap.add logical ext t.by_logical);
+  t.pages <- t.pages + count
+
+let overlaps t (e : Extent.t) =
+  let below = IntMap.find_last_opt (fun k -> k <= e.logical) t.by_logical in
+  let above = IntMap.find_first_opt (fun k -> k > e.logical) t.by_logical in
+  (match below with Some (_, b) -> Extent.logical_end b > e.logical | None -> false)
+  || (match above with Some (_, a) -> Extent.logical_end e > a.Extent.logical | None -> false)
+
+let insert t (e : Extent.t) =
+  if e.count <= 0 then invalid_arg "Extent_tree.insert: empty extent";
+  if overlaps t e then invalid_arg "Extent_tree.insert: overlapping extent";
+  t.by_logical <- IntMap.add e.logical e t.by_logical;
+  t.pages <- max t.pages (Extent.logical_end e)
+
+let truncate_to t ~pages =
+  if pages < 0 then invalid_arg "Extent_tree.truncate_to: negative size";
+  let cut = ref [] in
+  let keep = ref IntMap.empty in
+  IntMap.iter
+    (fun k (e : Extent.t) ->
+      if Extent.logical_end e <= pages then keep := IntMap.add k e !keep
+      else if e.logical >= pages then cut := e :: !cut
+      else begin
+        (* Split: head stays, tail is cut. *)
+        let head_count = pages - e.logical in
+        keep := IntMap.add k { e with count = head_count } !keep;
+        cut :=
+          { Extent.logical = pages; start = e.start + head_count; count = e.count - head_count }
+          :: !cut
+      end)
+    t.by_logical;
+  t.by_logical <- !keep;
+  t.pages <- min t.pages pages;
+  List.rev !cut
+
+let find_extent t ~page =
+  match IntMap.find_last_opt (fun k -> k <= page) t.by_logical with
+  | Some (_, e) when page < Extent.logical_end e -> Some e
+  | _ -> None
+
+let lookup t ~page =
+  match find_extent t ~page with
+  | Some e -> Extent.frame_of_logical e page
+  | None -> None
+
+let pages t = t.pages
+let extent_count t = IntMap.cardinal t.by_logical
+let to_list t = IntMap.bindings t.by_logical |> List.map snd
+let iter t f = IntMap.iter (fun _ e -> f e) t.by_logical
+let metadata_bytes t = 24 * IntMap.cardinal t.by_logical

@@ -1,0 +1,36 @@
+(** Per-file extent map: logical page -> extent, ordered, coalescing on
+    append (the Ext4/NTFS mechanism the paper points to). *)
+
+type t
+
+val create : unit -> t
+
+val append : t -> start:Physmem.Frame.t -> count:int -> unit
+(** Add [count] frames at the end of the file, merging with the last
+    extent when physically contiguous. *)
+
+val insert : t -> Extent.t -> unit
+(** Insert an extent at its logical position. Raises [Invalid_argument]
+    on overlap with an existing extent. *)
+
+val truncate_to : t -> pages:int -> Extent.t list
+(** Shrink the file to [pages] logical pages, returning the (possibly
+    split) extents that were cut off, for the caller to free. *)
+
+val lookup : t -> page:int -> Physmem.Frame.t option
+(** Frame backing a logical page: one ordered-map search, independent of
+    file size. *)
+
+val find_extent : t -> page:int -> Extent.t option
+
+val pages : t -> int
+(** Total logical pages covered (files here are dense, so also the file
+    length in pages). *)
+
+val extent_count : t -> int
+val to_list : t -> Extent.t list
+(** Extents in logical order. *)
+
+val iter : t -> (Extent.t -> unit) -> unit
+val metadata_bytes : t -> int
+(** 24 bytes per extent record. *)

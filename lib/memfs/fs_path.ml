@@ -1,0 +1,14 @@
+let valid_name s =
+  String.length s > 0 && (not (String.contains s '/')) && not (String.contains s '\000')
+
+let split path =
+  if String.length path = 0 || path.[0] <> '/' then
+    invalid_arg "Fs_path.split: path must be absolute";
+  String.split_on_char '/' path
+  |> List.filter (fun s -> s <> "" && s <> ".")
+  |> List.map (fun s -> if s = ".." then invalid_arg "Fs_path.split: '..' not supported" else s)
+
+let dirname_basename path =
+  match List.rev (split path) with
+  | [] -> invalid_arg "Fs_path.dirname_basename: root has no basename"
+  | base :: rev_dir -> (List.rev rev_dir, base)

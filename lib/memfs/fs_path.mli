@@ -1,0 +1,14 @@
+(** Path parsing for the memory file system. Paths are absolute,
+    '/'-separated; "." and empty segments are dropped; ".." is rejected
+    (no need for it in the simulator, and it simplifies reasoning). *)
+
+val split : string -> string list
+(** [split "/a/b/c"] is [["a"; "b"; "c"]]; [split "/"] is [[]].
+    Raises [Invalid_argument] on relative paths or ".." segments. *)
+
+val dirname_basename : string -> string list * string
+(** [dirname_basename "/a/b/c"] is [(["a"; "b"], "c")]. Raises
+    [Invalid_argument] for the root path. *)
+
+val valid_name : string -> bool
+(** True for non-empty names without '/' or NUL. *)

@@ -1,0 +1,56 @@
+type persistence = Volatile | Persistent
+
+type kind = Regular of Extent_tree.t | Dir of (string, int) Hashtbl.t
+
+type t = {
+  ino : int;
+  kind : kind;
+  mutable size : int;
+  mutable nlink : int;
+  mutable refs : int;
+  mutable prot : Hw.Prot.t;
+  mutable persistence : persistence;
+  mutable discardable : bool;
+  mutable last_access : int;
+}
+
+let make_regular ~ino ~persistence =
+  {
+    ino;
+    kind = Regular (Extent_tree.create ());
+    size = 0;
+    nlink = 1;
+    refs = 0;
+    prot = Hw.Prot.rw;
+    persistence;
+    discardable = false;
+    last_access = 0;
+  }
+
+let make_dir ~ino =
+  {
+    ino;
+    kind = Dir (Hashtbl.create 8);
+    size = 0;
+    nlink = 1;
+    refs = 0;
+    prot = Hw.Prot.rwx;
+    persistence = Persistent;
+    discardable = false;
+    last_access = 0;
+  }
+
+let extents t =
+  match t.kind with
+  | Regular e -> e
+  | Dir _ -> invalid_arg "Inode.extents: directory"
+
+let dir_entries t =
+  match t.kind with
+  | Dir d -> d
+  | Regular _ -> invalid_arg "Inode.dir_entries: regular file"
+
+let is_dir t = match t.kind with Dir _ -> true | Regular _ -> false
+
+let metadata_bytes t =
+  128 + (match t.kind with Regular e -> Extent_tree.metadata_bytes e | Dir d -> 32 * Hashtbl.length d)

@@ -1,0 +1,39 @@
+(** Inodes: the per-file metadata record.
+
+    This is the paper's counterpoint to [struct page]: permissions,
+    persistence, pinning and access tracking all live here, once per
+    {e file}, not once per page. *)
+
+type persistence = Volatile | Persistent
+(** Whether the file survives crashes / restarts. The paper: files "can
+    be marked at any time as volatile or persistent". *)
+
+type kind =
+  | Regular of Extent_tree.t
+  | Dir of (string, int) Hashtbl.t  (** name -> ino *)
+
+type t = {
+  ino : int;
+  kind : kind;
+  mutable size : int;  (** bytes (Regular only) *)
+  mutable nlink : int;
+  mutable refs : int;  (** open/mmap references: whole-file refcounting *)
+  mutable prot : Hw.Prot.t;  (** whole-file permission *)
+  mutable persistence : persistence;
+  mutable discardable : bool;  (** eligible for transcendent-memory reclaim *)
+  mutable last_access : int;  (** clock cycles at last open/read/write *)
+}
+
+val make_regular : ino:int -> persistence:persistence -> t
+val make_dir : ino:int -> t
+
+val extents : t -> Extent_tree.t
+(** Raises [Invalid_argument] on a directory. *)
+
+val dir_entries : t -> (string, int) Hashtbl.t
+(** Raises [Invalid_argument] on a regular file. *)
+
+val is_dir : t -> bool
+
+val metadata_bytes : t -> int
+(** Fixed 128 B inode record plus its extent records. *)

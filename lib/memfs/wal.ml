@@ -1,0 +1,103 @@
+let marker = '\xC3'
+let header_bytes = 8
+
+type t = {
+  nvm : Physmem.Nvm.t;
+  base : int;
+  capacity : int;
+  mutable cursor : int; (* offset of the next record *)
+  mutable records : string list; (* newest first *)
+}
+
+(* Adler-ish rolling checksum, 32 bits, never zero (zero means "blank"). *)
+let checksum s =
+  let a = ref 1 and b = ref 0 in
+  String.iter
+    (fun c ->
+      a := (!a + Char.code c) mod 65521;
+      b := (!b + !a) mod 65521)
+    s;
+  let v = (!b lsl 16) lor !a in
+  if v = 0 then 1 else v
+
+let le32 v =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int v);
+  Bytes.to_string b
+
+let read_le32 mem addr =
+  Int32.to_int (Bytes.get_int32_le (Physmem.Phys_mem.read mem ~addr ~len:4) 0) land 0xFFFFFFFF
+
+let record_span payload_len = header_bytes + payload_len + 1
+
+let create ~nvm ~base ~capacity =
+  let mem = Physmem.Nvm.mem nvm in
+  if Physmem.Phys_mem.region_of_frame mem (Physmem.Frame.of_addr base) <> Physmem.Phys_mem.Nvm
+  then invalid_arg "Wal.create: base not in the NVM region";
+  if capacity < record_span 1 then invalid_arg "Wal.create: capacity too small";
+  { nvm; base; capacity; cursor = 0; records = [] }
+
+let append ?(durable = true) t payload =
+  if payload = "" then invalid_arg "Wal.append: empty record";
+  let span = record_span (String.length payload) in
+  if t.cursor + span > t.capacity then failwith "WAL full";
+  let addr = t.base + t.cursor in
+  let mem = Physmem.Nvm.mem t.nvm in
+  ignore mem;
+  (* 1. Header + payload. *)
+  Physmem.Nvm.write_persistent t.nvm ~addr
+    (le32 (String.length payload) ^ le32 (checksum payload) ^ payload);
+  if durable then begin
+    Physmem.Nvm.flush t.nvm ~addr ~len:(header_bytes + String.length payload);
+    Physmem.Nvm.fence t.nvm
+  end;
+  (* 2. Commit marker, strictly after the payload is durable. *)
+  let marker_addr = addr + header_bytes + String.length payload in
+  Physmem.Nvm.write_persistent t.nvm ~addr:marker_addr (String.make 1 marker);
+  if durable then begin
+    Physmem.Nvm.flush t.nvm ~addr:marker_addr ~len:1;
+    Physmem.Nvm.fence t.nvm
+  end;
+  t.cursor <- t.cursor + span;
+  t.records <- payload :: t.records
+
+let entries t = List.rev t.records
+let entry_count t = List.length t.records
+let used_bytes t = t.cursor
+let capacity t = t.capacity
+
+let recover ~nvm ~base ~capacity =
+  let mem = Physmem.Nvm.mem nvm in
+  let t = { nvm; base; capacity; cursor = 0; records = [] } in
+  let rec scan off =
+    if off + header_bytes + 1 > capacity then ()
+    else begin
+      let len = read_le32 mem (base + off) in
+      let cksum = read_le32 mem (base + off + 4) in
+      if len <= 0 || cksum = 0 || off + record_span len > capacity then ()
+      else begin
+        let payload =
+          Bytes.to_string (Physmem.Phys_mem.read mem ~addr:(base + off + header_bytes) ~len)
+        in
+        let mark =
+          Physmem.Phys_mem.read_byte mem (base + off + header_bytes + len)
+        in
+        if mark = marker && checksum payload = cksum then begin
+          t.records <- payload :: t.records;
+          t.cursor <- off + record_span len;
+          scan (off + record_span len)
+        end
+        (* else: torn tail — stop, keeping the valid prefix. *)
+      end
+    end
+  in
+  scan 0;
+  t
+
+let reset t =
+  (* Zero the first header durably: recovery then sees an empty log. *)
+  Physmem.Nvm.write_persistent t.nvm ~addr:t.base (String.make header_bytes '\000');
+  Physmem.Nvm.flush t.nvm ~addr:t.base ~len:header_bytes;
+  Physmem.Nvm.fence t.nvm;
+  t.cursor <- 0;
+  t.records <- []

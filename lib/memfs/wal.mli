@@ -1,0 +1,40 @@
+(** A crash-consistent write-ahead log on raw persistent memory.
+
+    This is the mechanism behind every persistent-memory file system's
+    metadata updates (PMFS journals exactly like this): records are made
+    durable with the clwb/sfence discipline, a commit marker is written
+    only after the payload is flushed, and recovery keeps the longest
+    checksum-valid committed prefix — a torn tail (lines still in the
+    cache hierarchy at power-fail) is detected and discarded.
+
+    Record layout: 4-byte length, 4-byte checksum, payload, 1-byte
+    commit marker. *)
+
+type t
+
+val create : nvm:Physmem.Nvm.t -> base:int -> capacity:int -> t
+(** A fresh log over NVM bytes [base, base+capacity). [base] must lie in
+    the NVM region. Existing bytes are ignored (use {!recover} to read a
+    log back after a crash). *)
+
+val append : ?durable:bool -> t -> string -> unit
+(** Append one record. With [durable:true] (default) the payload is
+    flushed and fenced before the commit marker, and the marker flushed
+    after — the record is durable when [append] returns. [durable:false]
+    skips every flush (a deliberately buggy fast path for crash tests).
+    Raises [Failure "WAL full"] when out of space. *)
+
+val entries : t -> string list
+(** Committed records, oldest first. *)
+
+val entry_count : t -> int
+val used_bytes : t -> int
+val capacity : t -> int
+
+val recover : nvm:Physmem.Nvm.t -> base:int -> capacity:int -> t
+(** Rebuild the log from NVM contents after a crash: scans records from
+    [base], stopping at the first missing marker or checksum mismatch,
+    and positions the append cursor after the valid prefix. *)
+
+val reset : t -> unit
+(** Truncate the log (durably: the first header is zeroed and flushed). *)

@@ -1,0 +1,318 @@
+(* CLRS-style B-tree, minimum degree 4. *)
+
+let t_min = 4
+let max_keys = (2 * t_min) - 1
+
+type 'v node = {
+  mutable n : int;
+  keys : int array; (* capacity max_keys; [0, n) valid *)
+  vals : 'v option array;
+  mutable kids : 'v node array; (* capacity max_keys + 1; [0, n] valid when not leaf *)
+  mutable leaf : bool;
+}
+
+type 'v t = { mutable root : 'v node; mutable cardinal : int }
+
+let mk_node ~leaf =
+  { n = 0; keys = Array.make max_keys 0; vals = Array.make max_keys None; kids = [||]; leaf }
+
+let mk_internal () =
+  let node = mk_node ~leaf:false in
+  node.kids <- Array.make (max_keys + 1) node;
+  (* self-references as placeholders; always overwritten before use *)
+  node
+
+let create () = { root = mk_node ~leaf:true; cardinal = 0 }
+
+(* Index of the first key > k (also: number of keys <= k). *)
+let upper_bound node k =
+  let rec loop i = if i < node.n && node.keys.(i) <= k then loop (i + 1) else i in
+  loop 0
+
+(* Index of the first key >= k. *)
+let lower_bound node k =
+  let rec loop i = if i < node.n && node.keys.(i) < k then loop (i + 1) else i in
+  loop 0
+
+let rec find_in node k =
+  let i = lower_bound node k in
+  if i < node.n && node.keys.(i) = k then node.vals.(i)
+  else if node.leaf then None
+  else find_in node.kids.(i) k
+
+let find t ~key = find_in t.root key
+
+let rec find_last_leq_in node k best =
+  let i = upper_bound node k in
+  let best = if i > 0 then Some (node.keys.(i - 1), Option.get node.vals.(i - 1)) else best in
+  if node.leaf then best else find_last_leq_in node.kids.(i) k best
+
+let find_last_leq t ~key = find_last_leq_in t.root key None
+
+let rec find_first_gt_in node k best =
+  let i = upper_bound node k in
+  let best = if i < node.n then Some (node.keys.(i), Option.get node.vals.(i)) else best in
+  if node.leaf then best else find_first_gt_in node.kids.(i) k best
+
+let find_first_gt t ~key = find_first_gt_in t.root key None
+
+(* Split the full child kids.(i) of (non-full) [parent]. *)
+let split_child parent i =
+  let child = parent.kids.(i) in
+  let sibling = mk_node ~leaf:child.leaf in
+  if not child.leaf then sibling.kids <- Array.make (max_keys + 1) child;
+  (* Upper t_min-1 keys move to the sibling. *)
+  for j = 0 to t_min - 2 do
+    sibling.keys.(j) <- child.keys.(j + t_min);
+    sibling.vals.(j) <- child.vals.(j + t_min);
+    child.vals.(j + t_min) <- None
+  done;
+  if not child.leaf then
+    for j = 0 to t_min - 1 do
+      sibling.kids.(j) <- child.kids.(j + t_min)
+    done;
+  sibling.n <- t_min - 1;
+  let med_key = child.keys.(t_min - 1) and med_val = child.vals.(t_min - 1) in
+  child.vals.(t_min - 1) <- None;
+  child.n <- t_min - 1;
+  (* Shift the parent's keys/kids right to make room at i. *)
+  for j = parent.n downto i + 1 do
+    parent.keys.(j) <- parent.keys.(j - 1);
+    parent.vals.(j) <- parent.vals.(j - 1)
+  done;
+  for j = parent.n + 1 downto i + 2 do
+    parent.kids.(j) <- parent.kids.(j - 1)
+  done;
+  parent.keys.(i) <- med_key;
+  parent.vals.(i) <- med_val;
+  parent.kids.(i + 1) <- sibling;
+  parent.n <- parent.n + 1
+
+let rec insert_nonfull node k v =
+  let i = lower_bound node k in
+  if i < node.n && node.keys.(i) = k then invalid_arg "Btree.insert: duplicate key";
+  if node.leaf then begin
+    for j = node.n downto i + 1 do
+      node.keys.(j) <- node.keys.(j - 1);
+      node.vals.(j) <- node.vals.(j - 1)
+    done;
+    node.keys.(i) <- k;
+    node.vals.(i) <- Some v;
+    node.n <- node.n + 1
+  end
+  else begin
+    let i =
+      if node.kids.(i).n = max_keys then begin
+        split_child node i;
+        if k = node.keys.(i) then invalid_arg "Btree.insert: duplicate key";
+        if k > node.keys.(i) then i + 1 else i
+      end
+      else i
+    in
+    insert_nonfull node.kids.(i) k v
+  end
+
+let insert t ~key v =
+  if t.root.n = max_keys then begin
+    let new_root = mk_internal () in
+    new_root.kids.(0) <- t.root;
+    t.root <- new_root;
+    split_child new_root 0
+  end;
+  insert_nonfull t.root key v;
+  t.cardinal <- t.cardinal + 1
+
+(* Deletion (CLRS). All helpers assume the caller ensured [node] has at
+   least t_min keys unless it is the root. *)
+
+let rec max_binding node =
+  if node.leaf then (node.keys.(node.n - 1), Option.get node.vals.(node.n - 1))
+  else max_binding node.kids.(node.n)
+
+let rec min_binding node =
+  if node.leaf then (node.keys.(0), Option.get node.vals.(0))
+  else min_binding node.kids.(0)
+
+(* Merge kids.(i), keys.(i) and kids.(i+1) into kids.(i). *)
+let merge_children node i =
+  let left = node.kids.(i) and right = node.kids.(i + 1) in
+  left.keys.(left.n) <- node.keys.(i);
+  left.vals.(left.n) <- node.vals.(i);
+  for j = 0 to right.n - 1 do
+    left.keys.(left.n + 1 + j) <- right.keys.(j);
+    left.vals.(left.n + 1 + j) <- right.vals.(j)
+  done;
+  if not left.leaf then
+    for j = 0 to right.n do
+      left.kids.(left.n + 1 + j) <- right.kids.(j)
+    done;
+  left.n <- left.n + 1 + right.n;
+  (* Close the gap in the parent. *)
+  for j = i to node.n - 2 do
+    node.keys.(j) <- node.keys.(j + 1);
+    node.vals.(j) <- node.vals.(j + 1)
+  done;
+  node.vals.(node.n - 1) <- None;
+  for j = i + 1 to node.n - 1 do
+    node.kids.(j) <- node.kids.(j + 1)
+  done;
+  node.n <- node.n - 1
+
+(* Make sure kids.(i) has at least t_min keys, borrowing or merging. On
+   return the index of the (possibly merged) child to descend into. *)
+let ensure_child node i =
+  let child = node.kids.(i) in
+  if child.n >= t_min then i
+  else if i > 0 && node.kids.(i - 1).n >= t_min then begin
+    (* Borrow from the left sibling through the separator. *)
+    let left = node.kids.(i - 1) in
+    for j = child.n downto 1 do
+      child.keys.(j) <- child.keys.(j - 1);
+      child.vals.(j) <- child.vals.(j - 1)
+    done;
+    if not child.leaf then
+      for j = child.n + 1 downto 1 do
+        child.kids.(j) <- child.kids.(j - 1)
+      done;
+    child.keys.(0) <- node.keys.(i - 1);
+    child.vals.(0) <- node.vals.(i - 1);
+    if not child.leaf then child.kids.(0) <- left.kids.(left.n);
+    node.keys.(i - 1) <- left.keys.(left.n - 1);
+    node.vals.(i - 1) <- left.vals.(left.n - 1);
+    left.vals.(left.n - 1) <- None;
+    left.n <- left.n - 1;
+    child.n <- child.n + 1;
+    i
+  end
+  else if i < node.n && node.kids.(i + 1).n >= t_min then begin
+    (* Borrow from the right sibling. *)
+    let right = node.kids.(i + 1) in
+    child.keys.(child.n) <- node.keys.(i);
+    child.vals.(child.n) <- node.vals.(i);
+    if not child.leaf then child.kids.(child.n + 1) <- right.kids.(0);
+    node.keys.(i) <- right.keys.(0);
+    node.vals.(i) <- right.vals.(0);
+    for j = 0 to right.n - 2 do
+      right.keys.(j) <- right.keys.(j + 1);
+      right.vals.(j) <- right.vals.(j + 1)
+    done;
+    right.vals.(right.n - 1) <- None;
+    if not right.leaf then
+      for j = 0 to right.n - 1 do
+        right.kids.(j) <- right.kids.(j + 1)
+      done;
+    right.n <- right.n - 1;
+    child.n <- child.n + 1;
+    i
+  end
+  else if i > 0 then begin
+    merge_children node (i - 1);
+    i - 1
+  end
+  else begin
+    merge_children node i;
+    i
+  end
+
+let rec delete_from node k =
+  let i = lower_bound node k in
+  if i < node.n && node.keys.(i) = k then
+    if node.leaf then begin
+      let v = node.vals.(i) in
+      for j = i to node.n - 2 do
+        node.keys.(j) <- node.keys.(j + 1);
+        node.vals.(j) <- node.vals.(j + 1)
+      done;
+      node.vals.(node.n - 1) <- None;
+      node.n <- node.n - 1;
+      v
+    end
+    else if node.kids.(i).n >= t_min then begin
+      let pk, pv = max_binding node.kids.(i) in
+      let v = node.vals.(i) in
+      node.keys.(i) <- pk;
+      node.vals.(i) <- Some pv;
+      ignore (delete_from node.kids.(i) pk);
+      v
+    end
+    else if node.kids.(i + 1).n >= t_min then begin
+      let sk, sv = min_binding node.kids.(i + 1) in
+      let v = node.vals.(i) in
+      node.keys.(i) <- sk;
+      node.vals.(i) <- Some sv;
+      ignore (delete_from node.kids.(i + 1) sk);
+      v
+    end
+    else begin
+      merge_children node i;
+      delete_from node.kids.(i) k
+    end
+  else if node.leaf then None
+  else begin
+    let i = ensure_child node i in
+    (* After a merge the key may now live inside the merged child at the
+       same index; re-resolve the descent position. *)
+    let i =
+      let j = lower_bound node k in
+      if j < node.n && node.keys.(j) = k then j else min i (node.n)
+    in
+    if i < node.n && node.keys.(i) = k then delete_from node k
+    else
+      let j = upper_bound node k in
+      delete_from node.kids.(j) k
+  end
+
+let remove t ~key =
+  let v = delete_from t.root key in
+  if v <> None then t.cardinal <- t.cardinal - 1;
+  if t.root.n = 0 && not t.root.leaf then t.root <- t.root.kids.(0);
+  v
+
+let cardinal t = t.cardinal
+
+let height t =
+  let rec loop node acc = if node.leaf then acc else loop node.kids.(0) (acc + 1) in
+  loop t.root 1
+
+let iter t f =
+  let rec walk node =
+    if node.leaf then
+      for i = 0 to node.n - 1 do
+        f node.keys.(i) (Option.get node.vals.(i))
+      done
+    else begin
+      for i = 0 to node.n - 1 do
+        walk node.kids.(i);
+        f node.keys.(i) (Option.get node.vals.(i))
+      done;
+      walk node.kids.(node.n)
+    end
+  in
+  walk t.root
+
+let check_invariants t =
+  let ok = ref true in
+  let leaf_depths = ref [] in
+  let rec walk node ~lo ~hi ~depth ~is_root =
+    if node.n > max_keys then ok := false;
+    if (not is_root) && node.n < t_min - 1 then ok := false;
+    for i = 0 to node.n - 1 do
+      let k = node.keys.(i) in
+      (match lo with Some l when k <= l -> ok := false | _ -> ());
+      (match hi with Some h when k >= h -> ok := false | _ -> ());
+      if i > 0 && node.keys.(i - 1) >= k then ok := false;
+      if node.vals.(i) = None then ok := false
+    done;
+    if node.leaf then leaf_depths := depth :: !leaf_depths
+    else
+      for i = 0 to node.n do
+        let lo = if i = 0 then lo else Some node.keys.(i - 1) in
+        let hi = if i = node.n then hi else Some node.keys.(i) in
+        walk node.kids.(i) ~lo ~hi ~depth:(depth + 1) ~is_root:false
+      done
+  in
+  walk t.root ~lo:None ~hi:None ~depth:0 ~is_root:true;
+  (match List.sort_uniq compare !leaf_depths with [ _ ] -> () | [] -> () | _ -> ok := false);
+  let count = ref 0 in
+  iter t (fun _ _ -> incr count);
+  !ok && !count = t.cardinal

@@ -1,0 +1,37 @@
+(** A mutable B-tree keyed by [int] — the index structure a range table
+    actually uses (Redundant Memory Mappings keeps its OS-side ranges in
+    a B-tree so hardware refills touch O(height) cache lines, not
+    O(log2 n) pointer hops of a binary tree).
+
+    Minimum degree 4: nodes hold 3–7 keys, so a few thousand ranges fit
+    in a tree of height 3–4. *)
+
+type 'v t
+
+val create : unit -> 'v t
+
+val insert : 'v t -> key:int -> 'v -> unit
+(** Raises [Invalid_argument] on a duplicate key. *)
+
+val remove : 'v t -> key:int -> 'v option
+(** Remove and return the binding, or [None]. *)
+
+val find : 'v t -> key:int -> 'v option
+
+val find_last_leq : 'v t -> key:int -> (int * 'v) option
+(** The binding with the greatest key <= [key]. *)
+
+val find_first_gt : 'v t -> key:int -> (int * 'v) option
+(** The binding with the smallest key > [key]. *)
+
+val cardinal : 'v t -> int
+
+val height : 'v t -> int
+(** Levels from root to leaf inclusive; 1 for a lone root. *)
+
+val iter : 'v t -> (int -> 'v -> unit) -> unit
+(** In ascending key order. *)
+
+val check_invariants : 'v t -> bool
+(** Structural check (sorted keys, node occupancy, uniform depth) — used
+    by the property tests. *)

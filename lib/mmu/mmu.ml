@@ -1,0 +1,101 @@
+type fault = Not_mapped | Protection
+
+type t = {
+  clock : Sim.Clock.t;
+  stats : Sim.Stats.t;
+  table : Page_table.t;
+  range_table : Range_table.t option;
+  mode : Walker.mode;
+  tlb : Tlb.t;
+  range_tlb : Range_tlb.t option;
+}
+
+let create ~clock ~stats ~table ?range_table ?(mode = Walker.Native) ?tlb_sets ?tlb_ways
+    ?range_tlb_entries () =
+  {
+    clock;
+    stats;
+    table;
+    range_table;
+    mode;
+    tlb = Tlb.create ~clock ~stats ?sets:tlb_sets ?ways:tlb_ways ();
+    range_tlb =
+      (match range_table with
+      | Some _ -> Some (Range_tlb.create ~clock ~stats ?entries:range_tlb_entries ())
+      | None -> None);
+  }
+
+let table t = t.table
+let range_table t = t.range_table
+let tlb t = t.tlb
+let range_tlb t = t.range_tlb
+
+let check_prot prot ~write ~exec = Prot.allows prot ~write ~exec
+
+(* Dirty/accessed maintenance on a TLB hit costs nothing extra in the
+   model: hardware updates the PTE bits asynchronously. *)
+let note_access t ~va ~write =
+  if write then
+    match Page_table.lookup t.table ~va with
+    | Some (_, leaf) ->
+      leaf.Page_table.accessed <- true;
+      leaf.Page_table.dirty <- true
+    | None -> ()
+
+let translate t ~va ~write ~exec =
+  match Tlb.lookup t.tlb ~va with
+  | Some (pfn, prot, size) ->
+    if check_prot prot ~write ~exec then begin
+      note_access t ~va ~write;
+      let off = va land (Page_size.bytes size - 1) in
+      Ok (Physmem.Frame.to_addr pfn + off)
+    end
+    else Error Protection
+  | None -> (
+    let via_range_tlb =
+      match t.range_tlb with Some rtlb -> Range_tlb.lookup rtlb ~va | None -> None
+    in
+    match via_range_tlb with
+    | Some e ->
+      if check_prot e.Range_table.prot ~write ~exec then Ok (va + e.Range_table.offset)
+      else Error Protection
+    | None -> (
+      (* Refill: range table first (one entry can cover the whole region),
+         then the radix table. *)
+      let via_range_walk =
+        match t.range_table with Some rt -> Range_table.walk rt ~va | None -> None
+      in
+      match via_range_walk with
+      | Some e ->
+        (match t.range_tlb with Some rtlb -> Range_tlb.insert rtlb e | None -> ());
+        if check_prot e.Range_table.prot ~write ~exec then Ok (va + e.Range_table.offset)
+        else Error Protection
+      | None -> (
+        match Walker.walk ~clock:t.clock ~stats:t.stats ~table:t.table ~mode:t.mode ~va with
+        | None -> Error Not_mapped
+        | Some (pa, leaf) ->
+          if write then leaf.Page_table.dirty <- true;
+          Tlb.insert t.tlb
+            ~va:(Sim.Units.round_down va ~align:(Page_size.bytes leaf.Page_table.size))
+            ~pfn:leaf.Page_table.pfn ~prot:leaf.Page_table.prot ~size:leaf.Page_table.size;
+          if check_prot leaf.Page_table.prot ~write ~exec then Ok pa else Error Protection)))
+
+let access t ~mem ~va ~write =
+  match translate t ~va ~write ~exec:false with
+  | Error _ as e -> e
+  | Ok pa ->
+    if write then Physmem.Phys_mem.write_byte mem pa 'x' else Physmem.Phys_mem.touch mem pa;
+    Ok ()
+
+let flush_tlbs t =
+  Tlb.flush t.tlb;
+  match t.range_tlb with Some r -> Range_tlb.flush r | None -> ()
+
+let invalidate_range t ~va ~len =
+  Tlb.invalidate_range t.tlb ~va ~len;
+  match (t.range_tlb, t.range_table) with
+  | Some rtlb, Some rt ->
+    Range_table.iter rt (fun e ->
+        if e.Range_table.base >= va && e.Range_table.base < va + len then
+          Range_tlb.invalidate rtlb ~base:e.Range_table.base)
+  | _ -> ()

@@ -1,0 +1,36 @@
+(** Per-address-space MMU front end: page TLB + page-table walker, and —
+    when the address space has a range table — a range TLB probed in
+    parallel, as in Redundant Memory Mappings.
+
+    Translation order on an access: page TLB, then range TLB, then the
+    backing structures (range table first if present — a hit there covers
+    arbitrarily large spans with one entry — then the radix page table). *)
+
+type fault = Not_mapped | Protection
+
+type t
+
+val create :
+  clock:Sim.Clock.t -> stats:Sim.Stats.t -> table:Page_table.t ->
+  ?range_table:Range_table.t -> ?mode:Walker.mode -> ?tlb_sets:int -> ?tlb_ways:int ->
+  ?range_tlb_entries:int -> unit -> t
+
+val table : t -> Page_table.t
+val range_table : t -> Range_table.t option
+val tlb : t -> Tlb.t
+val range_tlb : t -> Range_tlb.t option
+
+val translate : t -> va:int -> write:bool -> exec:bool -> (int, fault) result
+(** Translate one access, charging TLB probe / walk costs and maintaining
+    accessed/dirty bits. *)
+
+val access : t -> mem:Physmem.Phys_mem.t -> va:int -> write:bool -> (unit, fault) result
+(** [translate] then touch the physical byte (charging the memory
+    reference). *)
+
+val flush_tlbs : t -> unit
+(** Flush both TLBs (context switch without ASIDs). *)
+
+val invalidate_range : t -> va:int -> len:int -> unit
+(** Shoot down page-TLB entries in the range, and any range-TLB entry
+    whose base lies within it. *)

@@ -1,0 +1,21 @@
+type t = { read : bool; write : bool; exec : bool }
+
+let none = { read = false; write = false; exec = false }
+let r = { read = true; write = false; exec = false }
+let rw = { read = true; write = true; exec = false }
+let rx = { read = true; write = false; exec = true }
+let rwx = { read = true; write = true; exec = true }
+
+let allows p ~write ~exec =
+  if write then p.write else if exec then p.exec else p.read
+
+let subset a ~of_:b =
+  (not a.read || b.read) && (not a.write || b.write) && (not a.exec || b.exec)
+
+let equal a b = a = b
+
+let pp ppf p =
+  Format.fprintf ppf "%c%c%c"
+    (if p.read then 'r' else '-')
+    (if p.write then 'w' else '-')
+    (if p.exec then 'x' else '-')

@@ -1,0 +1,20 @@
+(** Access protection bits. *)
+
+type t = { read : bool; write : bool; exec : bool }
+
+val none : t
+val r : t
+val rw : t
+val rx : t
+val rwx : t
+
+val allows : t -> write:bool -> exec:bool -> bool
+(** [allows p ~write ~exec] is [true] iff an access of that kind is
+    permitted ([write] and [exec] accesses also require nothing further;
+    plain reads require [read]). *)
+
+val subset : t -> of_:t -> bool
+(** [subset a ~of_:b]: every right in [a] is also in [b]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,72 @@
+type t = int64
+
+let bit_p = 0
+let bit_rw = 1
+let bit_us = 2
+let bit_a = 5
+let bit_d = 6
+let bit_ps = 7
+let bit_nx = 63
+let pfn_shift = 12
+let pfn_bits = 40
+
+let bit b = Int64.shift_left 1L b
+let test e b = Int64.logand e (bit b) <> 0L
+let set e b v = if v then Int64.logor e (bit b) else Int64.logand e (Int64.lognot (bit b))
+
+let not_present = 0L
+
+let encode ~present ~pfn ~prot ~accessed ~dirty ~huge =
+  if pfn < 0 || pfn >= 1 lsl pfn_bits then invalid_arg "Pte.encode: PFN out of 40 bits";
+  let e = 0L in
+  let e = set e bit_p present in
+  let e = set e bit_rw prot.Prot.write in
+  (* x86 cannot express a present-but-unreadable page; U/S marks user
+     mappings, which is everything this simulator maps. *)
+  let e = set e bit_us true in
+  ignore prot.Prot.read;
+  let e = set e bit_a accessed in
+  let e = set e bit_d dirty in
+  let e = set e bit_ps huge in
+  let e = set e bit_nx (not prot.Prot.exec) in
+  Int64.logor e (Int64.shift_left (Int64.of_int pfn) pfn_shift)
+
+let present e = test e bit_p
+
+let pfn e =
+  Int64.to_int
+    (Int64.logand (Int64.shift_right_logical e pfn_shift) (Int64.of_int ((1 lsl pfn_bits) - 1)))
+
+let prot e = { Prot.read = present e; write = test e bit_rw; exec = not (test e bit_nx) }
+
+let accessed e = test e bit_a
+let dirty e = test e bit_d
+let huge e = test e bit_ps
+
+let set_accessed e v = set e bit_a v
+let set_dirty e v = set e bit_d v
+
+let of_leaf (leaf : Page_table.leaf) =
+  encode ~present:true ~pfn:leaf.Page_table.pfn ~prot:leaf.Page_table.prot
+    ~accessed:leaf.Page_table.accessed ~dirty:leaf.Page_table.dirty
+    ~huge:(leaf.Page_table.size <> Page_size.Small)
+
+let to_leaf e =
+  if not (present e) then None
+  else
+    Some
+      {
+        Page_table.pfn = pfn e;
+        prot = prot e;
+        accessed = accessed e;
+        dirty = dirty e;
+        size = (if huge e then Page_size.Huge_2m else Page_size.Small);
+      }
+
+let pp ppf e =
+  if not (present e) then Format.pp_print_string ppf "<not present>"
+  else
+    Format.fprintf ppf "pfn=%#x %a%s%s%s" (pfn e) Prot.pp (prot e)
+      (if accessed e then " A" else "")
+      (if dirty e then " D" else "")
+      (if huge e then " PS" else "")

@@ -1,0 +1,50 @@
+(** Bit-level x86-64 page-table entry encoding.
+
+    The simulator's page tables store structured leaves; this module
+    round-trips them through the real 64-bit entry layout, so metadata
+    sizes and flag budgets are honest ("the Linux PAGE structure has 25
+    separate flags" is only damning because the hardware entry has so
+    few):
+
+    {v
+    bit 0     P    present
+    bit 1     R/W  writable
+    bit 2     U/S  user
+    bit 5     A    accessed
+    bit 6     D    dirty
+    bit 7     PS   page size (huge leaf at non-terminal level)
+    bits 12.. PFN  frame number (40 bits)
+    bit 63    NX   no-execute
+    v} *)
+
+type t = int64
+
+val encode :
+  present:bool -> pfn:Physmem.Frame.t -> prot:Prot.t -> accessed:bool -> dirty:bool ->
+  huge:bool -> t
+(** Raises [Invalid_argument] if [pfn] exceeds 40 bits. Note the
+    hardware cannot express a present-but-unreadable page: decoded
+    protection always has [read = true] for present entries. *)
+
+val not_present : t
+(** The all-zero entry. *)
+
+val present : t -> bool
+val pfn : t -> Physmem.Frame.t
+val prot : t -> Prot.t
+val accessed : t -> bool
+val dirty : t -> bool
+val huge : t -> bool
+
+val set_accessed : t -> bool -> t
+val set_dirty : t -> bool -> t
+
+val of_leaf : Page_table.leaf -> t
+(** Encode a simulator leaf. *)
+
+val to_leaf : t -> Page_table.leaf option
+(** Decode; [None] when not present. The page size is 4 KiB unless the
+    PS bit is set, in which case 2 MiB is assumed (the level carries the
+    real size on hardware; callers that need 1 GiB track the level). *)
+
+val pp : Format.formatter -> t -> unit

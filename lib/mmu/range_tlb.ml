@@ -1,0 +1,50 @@
+type t = {
+  clock : Sim.Clock.t;
+  stats : Sim.Stats.t;
+  capacity : int;
+  mutable entries : Range_table.entry list; (* MRU first *)
+}
+
+let create ~clock ~stats ?(entries = 32) () =
+  if entries <= 0 then invalid_arg "Range_tlb.create: no capacity";
+  { clock; stats; capacity = entries; entries = [] }
+
+let capacity t = t.capacity
+
+let model t = Sim.Clock.model t.clock
+
+let lookup t ~va =
+  Sim.Clock.charge t.clock (model t).Sim.Cost_model.tlb_hit;
+  match
+    List.find_opt
+      (fun (e : Range_table.entry) -> va >= e.base && va < e.base + e.limit)
+      t.entries
+  with
+  | Some e ->
+    t.entries <- e :: List.filter (fun x -> x != e) t.entries;
+    Sim.Stats.incr t.stats "range_tlb_hit";
+    Some e
+  | None ->
+    Sim.Stats.incr t.stats "range_tlb_miss";
+    None
+
+let insert t e =
+  let without =
+    List.filter (fun (x : Range_table.entry) -> x.base <> e.Range_table.base) t.entries
+  in
+  let trimmed =
+    if List.length without >= t.capacity then List.filteri (fun i _ -> i < t.capacity - 1) without
+    else without
+  in
+  t.entries <- e :: trimmed
+
+let invalidate t ~base =
+  Sim.Clock.charge t.clock (Sim.Cost_model.shootdown_cost (model t));
+  Sim.Stats.incr t.stats "range_tlb_shootdown";
+  t.entries <- List.filter (fun (e : Range_table.entry) -> e.base <> base) t.entries
+
+let flush t =
+  Sim.Clock.charge t.clock (Sim.Cost_model.shootdown_cost (model t));
+  t.entries <- []
+
+let entry_count t = List.length t.entries

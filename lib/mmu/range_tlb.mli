@@ -1,0 +1,24 @@
+(** Range TLB: a small fully-associative cache of range-table entries
+    (Figure 4/9). One entry covers an arbitrarily large contiguous range,
+    so a handful of entries can translate terabytes — the hardware half
+    of the paper's O(1) story. Default 32 entries, as proposed for
+    Redundant Memory Mappings. *)
+
+type t
+
+val create : clock:Sim.Clock.t -> stats:Sim.Stats.t -> ?entries:int -> unit -> t
+
+val capacity : t -> int
+
+val lookup : t -> va:int -> Range_table.entry option
+(** Probe; charges the hit cost; bumps "range_tlb_hit"/"range_tlb_miss". *)
+
+val insert : t -> Range_table.entry -> unit
+(** Fill after a range-table walk; LRU eviction. *)
+
+val invalidate : t -> base:int -> unit
+(** Shoot down the entry with this base, if cached: the single-operation
+    unmap the paper describes. Charges one shootdown. *)
+
+val flush : t -> unit
+val entry_count : t -> int

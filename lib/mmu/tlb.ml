@@ -1,0 +1,105 @@
+type entry = { tag : int; size : Page_size.t; pfn : Physmem.Frame.t; prot : Prot.t }
+
+type t = {
+  clock : Sim.Clock.t;
+  stats : Sim.Stats.t;
+  sets : int;
+  ways : int;
+  (* sets.(s) holds up to [ways] entries, MRU first. *)
+  data : entry list array;
+}
+
+let create ~clock ~stats ?(sets = 128) ?(ways = 8) () =
+  if sets <= 0 || ways <= 0 || not (Sim.Units.is_power_of_two sets) then
+    invalid_arg "Tlb.create: sets must be a positive power of two";
+  { clock; stats; sets; ways; data = Array.make sets [] }
+
+let capacity t = t.sets * t.ways
+
+let model t = Sim.Clock.model t.clock
+
+(* Tag = VA with in-page bits cleared for the entry's page size; the set
+   index mixes in the size so different sizes coexist predictably. *)
+let tag_of va size = Sim.Units.round_down va ~align:(Page_size.bytes size)
+
+let set_of t va size =
+  let vpn = va / Page_size.bytes size in
+  (vpn lxor (Page_size.bytes size lsr 12)) land (t.sets - 1)
+
+let sizes = [ Page_size.Small; Page_size.Huge_2m; Page_size.Huge_1g ]
+
+let lookup t ~va =
+  Sim.Clock.charge t.clock (model t).Sim.Cost_model.tlb_hit;
+  let found = ref None in
+  List.iter
+    (fun size ->
+      if !found = None then begin
+        let s = set_of t va size in
+        let tag = tag_of va size in
+        match List.find_opt (fun e -> e.tag = tag && e.size = size) t.data.(s) with
+        | Some e ->
+          (* Move to MRU position. *)
+          t.data.(s) <- e :: List.filter (fun x -> x != e) t.data.(s);
+          found := Some (e.pfn, e.prot, e.size)
+        | None -> ()
+      end)
+    sizes;
+  (match !found with
+  | Some _ -> Sim.Stats.incr t.stats "tlb_hit"
+  | None -> Sim.Stats.incr t.stats "tlb_miss");
+  !found
+
+let insert t ~va ~pfn ~prot ~size =
+  let s = set_of t va size in
+  let tag = tag_of va size in
+  let without = List.filter (fun e -> not (e.tag = tag && e.size = size)) t.data.(s) in
+  let trimmed =
+    if List.length without >= t.ways then
+      (* Drop LRU (last). *)
+      List.filteri (fun i _ -> i < t.ways - 1) without
+    else without
+  in
+  t.data.(s) <- { tag; size; pfn; prot } :: trimmed
+
+let invalidate_page t ~va =
+  Sim.Clock.charge t.clock (Sim.Cost_model.shootdown_cost (model t));
+  Sim.Stats.incr t.stats "tlb_shootdown";
+  List.iter
+    (fun size ->
+      let s = set_of t va size in
+      let tag = tag_of va size in
+      t.data.(s) <- List.filter (fun e -> not (e.tag = tag && e.size = size)) t.data.(s))
+    sizes
+
+let flush t =
+  Sim.Clock.charge t.clock (Sim.Cost_model.shootdown_cost (model t));
+  Sim.Stats.incr t.stats "tlb_flush";
+  Array.fill t.data 0 t.sets []
+
+(* Beyond this many pages Linux stops issuing per-page INVLPGs and just
+   flushes the whole TLB. *)
+let full_flush_threshold_pages = 33
+
+let invalidate_range t ~va ~len =
+  if len / Sim.Units.page_size >= full_flush_threshold_pages then flush t
+  else begin
+    Sim.Clock.charge t.clock (Sim.Cost_model.shootdown_cost (model t));
+    let dropped = ref 0 in
+    let lo = va and hi = va + len in
+    Array.iteri
+      (fun s entries ->
+        let keep, drop =
+          List.partition
+            (fun e ->
+              let e_lo = e.tag and e_hi = e.tag + Page_size.bytes e.size in
+              e_hi <= lo || e_lo >= hi)
+            entries
+        in
+        dropped := !dropped + List.length drop;
+        t.data.(s) <- keep)
+      t.data;
+    Sim.Stats.add t.stats "tlb_shootdown" !dropped;
+    Sim.Clock.charge t.clock (!dropped * Sim.Cost_model.shootdown_cost (model t))
+  end
+
+let entry_count t = Array.fold_left (fun acc l -> acc + List.length l) 0 t.data

@@ -1,0 +1,34 @@
+(** Set-associative translation lookaside buffer.
+
+    Tags are (virtual page number, page size); each set is LRU-ordered.
+    The default geometry approximates a Haswell-class L2 STLB: 128 sets,
+    8 ways, 1024 entries. *)
+
+type t
+
+val create : clock:Sim.Clock.t -> stats:Sim.Stats.t -> ?sets:int -> ?ways:int -> unit -> t
+
+val capacity : t -> int
+
+val lookup : t -> va:int -> (Physmem.Frame.t * Prot.t * Page_size.t) option
+(** Probe; charges the hit cost and bumps "tlb_hit" on success or
+    "tlb_miss" on failure (no walk is performed — callers decide how to
+    refill, see {!Mmu}). *)
+
+val insert : t -> va:int -> pfn:Physmem.Frame.t -> prot:Prot.t -> size:Page_size.t -> unit
+(** Fill after a walk, evicting the set's LRU entry if full. *)
+
+val invalidate_page : t -> va:int -> unit
+(** Drop any entry covering [va] (all page sizes probed); charges the
+    shootdown cost and bumps "tlb_shootdown". *)
+
+val invalidate_range : t -> va:int -> len:int -> unit
+(** Shoot down every entry overlapping the range: one charge per entry
+    dropped for small ranges; beyond ~32 pages the whole TLB is flushed
+    instead (one charge), as Linux does. *)
+
+val flush : t -> unit
+(** Full flush (e.g. context switch without ASIDs); charges one
+    shootdown. *)
+
+val entry_count : t -> int

@@ -1,0 +1,97 @@
+type level_cfg = { name : string; size_bytes : int; ways : int; latency : int }
+
+let default_l1 = { name = "l1"; size_bytes = 32 * 1024; ways = 8; latency = 4 }
+let default_l2 = { name = "l2"; size_bytes = 256 * 1024; ways = 8; latency = 14 }
+let default_llc = { name = "llc"; size_bytes = 8 * 1024 * 1024; ways = 16; latency = 42 }
+
+let line_bytes = 64
+
+type line = { tag : int; mutable dirty : bool }
+
+type level = {
+  cfg : level_cfg;
+  sets : int;
+  data : line list array; (* MRU first *)
+}
+
+type t = { clock : Sim.Clock.t; stats : Sim.Stats.t; levels : level array }
+
+let mk_level cfg =
+  let sets = max 1 (cfg.size_bytes / line_bytes / cfg.ways) in
+  if not (Sim.Units.is_power_of_two sets) then
+    invalid_arg ("Cache_hier: set count not a power of two for " ^ cfg.name);
+  { cfg; sets; data = Array.make sets [] }
+
+let create ~clock ~stats ?(levels = [ default_l1; default_l2; default_llc ]) () =
+  if levels = [] then invalid_arg "Cache_hier.create: no levels";
+  { clock; stats; levels = Array.of_list (List.map mk_level levels) }
+
+type outcome = Hit of int | Miss
+
+let set_of lvl tag = tag land (lvl.sets - 1)
+
+(* Install a line at the MRU slot; return a dirty victim if one spills. *)
+let install lvl ~tag ~dirty =
+  let s = set_of lvl tag in
+  let without = List.filter (fun l -> l.tag <> tag) lvl.data.(s) in
+  let victim =
+    if List.length without >= lvl.cfg.ways then
+      match List.rev without with v :: _ -> Some v | [] -> None
+    else None
+  in
+  let kept =
+    match victim with
+    | Some v -> List.filter (fun l -> l != v) without
+    | None -> without
+  in
+  lvl.data.(s) <- { tag; dirty } :: kept;
+  match victim with Some v when v.dirty -> Some v.tag | _ -> None
+
+let probe lvl tag =
+  let s = set_of lvl tag in
+  match List.find_opt (fun l -> l.tag = tag) lvl.data.(s) with
+  | Some l ->
+    (* Move to MRU. *)
+    lvl.data.(s) <- l :: List.filter (fun x -> x != l) lvl.data.(s);
+    Some l
+  | None -> None
+
+let access t ~addr ~write =
+  let tag = addr / line_bytes in
+  let n = Array.length t.levels in
+  let rec search i =
+    if i >= n then Miss
+    else
+      match probe t.levels.(i) tag with
+      | Some l ->
+        if write then l.dirty <- true;
+        Hit i
+      | None -> search (i + 1)
+  in
+  let outcome = search 0 in
+  (match outcome with
+  | Hit i ->
+    Sim.Clock.charge t.clock t.levels.(i).cfg.latency;
+    Sim.Stats.incr t.stats (t.levels.(i).cfg.name ^ "_hit");
+    (* Fill the line into the nearer levels. *)
+    for j = 0 to i - 1 do
+      ignore (install t.levels.(j) ~tag ~dirty:write)
+    done
+  | Miss ->
+    (* Paid the full lookup chain; the caller charges memory. *)
+    Array.iter (fun lvl -> Sim.Clock.charge t.clock lvl.cfg.latency) t.levels;
+    Sim.Stats.incr t.stats (t.levels.(n - 1).cfg.name ^ "_miss");
+    Array.iter
+      (fun lvl ->
+        match install lvl ~tag ~dirty:write with
+        | Some _victim -> Sim.Stats.incr t.stats "cache_writeback"
+        | None -> ())
+      t.levels);
+  outcome
+
+let flush t = Array.iter (fun lvl -> Array.fill lvl.data 0 lvl.sets []) t.levels
+
+let line_count t =
+  Array.fold_left
+    (fun acc lvl -> acc + Array.fold_left (fun a l -> a + List.length l) 0 lvl.data)
+    0 t.levels

@@ -1,0 +1,66 @@
+let fence_cycles = 100
+
+type t = {
+  mem : Phys_mem.t;
+  unflushed : (int, unit) Hashtbl.t;
+  (* Last flushed 64-byte image of every line ever flushed: what the
+     media holds. Unflushed stores live only in the (volatile) cache
+     hierarchy, so a crash reverts their lines to this image. *)
+  durable : (int, string) Hashtbl.t;
+}
+
+let create mem = { mem; unflushed = Hashtbl.create 64; durable = Hashtbl.create 64 }
+
+let line_of addr = addr / 64
+
+let write_persistent t ~addr s =
+  Phys_mem.write t.mem ~addr s;
+  let len = String.length s in
+  if len > 0 then
+    for line = line_of addr to line_of (addr + len - 1) do
+      Hashtbl.replace t.unflushed line ()
+    done
+
+let snapshot_line t line =
+  let addr = line * 64 in
+  if Phys_mem.valid_frame t.mem (Frame.of_addr addr) then
+    Hashtbl.replace t.durable line (Bytes.to_string (Phys_mem.read t.mem ~addr ~len:64))
+
+let flush t ~addr ~len =
+  if len > 0 then begin
+    let first = line_of addr and last = line_of (addr + len - 1) in
+    let model = Sim.Clock.model (Phys_mem.clock t.mem) in
+    for line = first to last do
+      if Hashtbl.mem t.unflushed line then begin
+        Hashtbl.remove t.unflushed line;
+        snapshot_line t line;
+        Sim.Clock.charge (Phys_mem.clock t.mem) model.Sim.Cost_model.mem_ref_nvm_write;
+        Sim.Stats.incr (Phys_mem.stats t.mem) "clwb"
+      end
+    done
+  end
+
+let fence t =
+  Sim.Clock.charge (Phys_mem.clock t.mem) fence_cycles;
+  Sim.Stats.incr (Phys_mem.stats t.mem) "sfence"
+
+let unflushed_lines t = Hashtbl.length t.unflushed
+
+let crash t =
+  (* Unflushed NVM lines were still in the volatile cache hierarchy:
+     the media reverts to the last flushed image (zeros if never
+     flushed). *)
+  Hashtbl.iter
+    (fun line () ->
+      let addr = line * 64 in
+      if Phys_mem.valid_frame t.mem (Frame.of_addr addr) then begin
+        Phys_mem.discard_range t.mem ~addr ~len:64;
+        match Hashtbl.find_opt t.durable line with
+        | Some image -> Phys_mem.restore_range t.mem ~addr image
+        | None -> ()
+      end)
+    t.unflushed;
+  Hashtbl.reset t.unflushed;
+  Phys_mem.crash t.mem
+
+let mem t = t.mem

@@ -1,0 +1,32 @@
+(** Persistence primitives for the NVM region.
+
+    Models the clwb/sfence discipline persistent-memory file systems such
+    as PMFS use: stores to NVM only become durable once flushed and
+    fenced. Tracks in-flight (unflushed) lines so crash tests can verify
+    durability reasoning. *)
+
+type t
+
+val create : Phys_mem.t -> t
+
+val write_persistent : t -> addr:int -> string -> unit
+(** Store to NVM and remember the touched cache lines as unflushed. *)
+
+val flush : t -> addr:int -> len:int -> unit
+(** Flush the covered cache lines (clwb): charges one NVM write per line
+    and marks them durable. *)
+
+val fence : t -> unit
+(** Store fence (sfence): charges a small fixed cost; after a fence,
+    previously flushed lines are guaranteed durable. *)
+
+val unflushed_lines : t -> int
+(** Lines written through {!write_persistent} but not yet flushed. *)
+
+val crash : t -> unit
+(** Power failure. DRAM vanishes (delegates to {!Phys_mem.crash}); NVM
+    lines that were written but never flushed are torn: their contents are
+    dropped, modelling the loss of data stuck in the cache hierarchy. *)
+
+val mem : t -> Phys_mem.t
+(** The physical memory this persistence domain wraps. *)

@@ -1,0 +1,72 @@
+type series = { label : string; points : (float * float) list }
+
+let markers = [| '*'; '+'; 'o'; 'x'; '#'; '@' |]
+
+let render ?(width = 64) ?(height = 16) ?(logx = false) ?(logy = false) ~title series =
+  let tx v = if logx then log v else v in
+  let ty v = if logy then log v else v in
+  let usable (x, y) = ((not logx) || x > 0.0) && ((not logy) || y > 0.0) in
+  let pts = List.concat_map (fun s -> List.filter usable s.points) series in
+  if pts = [] then title ^ "\n(no data)\n"
+  else begin
+    let xs = List.map (fun (x, _) -> tx x) pts and ys = List.map (fun (_, y) -> ty y) pts in
+    let fmin l = List.fold_left min (List.hd l) l and fmax l = List.fold_left max (List.hd l) l in
+    let x0 = fmin xs and x1 = fmax xs and y0 = fmin ys and y1 = fmax ys in
+    let xr = if x1 > x0 then x1 -. x0 else 1.0 and yr = if y1 > y0 then y1 -. y0 else 1.0 in
+    let grid = Array.make_matrix height width ' ' in
+    List.iteri
+      (fun si s ->
+        let m = markers.(si mod Array.length markers) in
+        List.iter
+          (fun p ->
+            if usable p then begin
+              let x, y = p in
+              let cx =
+                int_of_float (Float.round ((tx x -. x0) /. xr *. float_of_int (width - 1)))
+              in
+              let cy =
+                height - 1
+                - int_of_float (Float.round ((ty y -. y0) /. yr *. float_of_int (height - 1)))
+              in
+              if cx >= 0 && cx < width && cy >= 0 && cy < height then
+                grid.(cy).(cx) <- (if grid.(cy).(cx) = ' ' then m else '&')
+            end)
+          s.points)
+      series;
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf (title ^ "\n");
+    let y_top = if logy then exp y1 else y1 and y_bot = if logy then exp y0 else y0 in
+    let label v = Printf.sprintf "%10.4g" v in
+    Array.iteri
+      (fun row line ->
+        let lbl =
+          if row = 0 then label y_top
+          else if row = height - 1 then label y_bot
+          else String.make 10 ' '
+        in
+        Buffer.add_string buf (lbl ^ " |");
+        Array.iter (Buffer.add_char buf) line;
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf (String.make 11 ' ' ^ "+" ^ String.make width '-' ^ "\n");
+    let x_left = if logx then exp x0 else x0 and x_right = if logx then exp x1 else x1 in
+    Buffer.add_string buf
+      (Printf.sprintf "%s%-10.4g%s%10.4g\n" (String.make 12 ' ') x_left
+         (String.make (max 0 (width - 20)) ' ')
+         x_right);
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s%s\n"
+         (String.make 12 ' ')
+         (if logx then "(log x) " else "")
+         (if logy then "(log y)" else ""));
+    List.iteri
+      (fun si s ->
+        Buffer.add_string buf
+          (Printf.sprintf "            %c  %s\n" markers.(si mod Array.length markers) s.label))
+      series;
+    Buffer.contents buf
+  end
+
+let print ?width ?height ?logx ?logy ~title series =
+  print_string (render ?width ?height ?logx ?logy ~title series);
+  print_newline ()

@@ -1,0 +1,14 @@
+(** ASCII line charts, for rendering the paper's figures in the bench
+    output (log axes supported, several series overlaid with distinct
+    markers). *)
+
+type series = { label : string; points : (float * float) list }
+
+val render :
+  ?width:int -> ?height:int -> ?logx:bool -> ?logy:bool -> title:string -> series list -> string
+(** A [width] x [height] (default 64 x 16) plot. Points with
+    non-positive coordinates are dropped when the matching axis is
+    logarithmic. Returns the chart followed by a legend. *)
+
+val print :
+  ?width:int -> ?height:int -> ?logx:bool -> ?logy:bool -> title:string -> series list -> unit

@@ -1,0 +1,19 @@
+type t = { mutable cycles : int; model : Cost_model.t }
+
+let create model = { cycles = 0; model }
+let model t = t.model
+let now t = t.cycles
+
+let charge t c =
+  assert (c >= 0);
+  t.cycles <- t.cycles + c
+
+let reset t = t.cycles <- 0
+let elapsed t ~since = t.cycles - since
+
+let time t f =
+  let start = t.cycles in
+  let r = f () in
+  (r, t.cycles - start)
+
+let us t c = Cost_model.cycles_to_us t.model c

@@ -1,0 +1,31 @@
+(** Virtual cycle clock shared by all simulated components.
+
+    Components charge cycles for the work they do; experiments read the
+    clock before and after an operation to obtain its simulated latency. *)
+
+type t
+
+val create : Cost_model.t -> t
+(** Fresh clock at cycle 0 carrying the given cost model. *)
+
+val model : t -> Cost_model.t
+(** The cost model this clock charges with. *)
+
+val now : t -> int
+(** Current cycle count. *)
+
+val charge : t -> int -> unit
+(** [charge t c] advances the clock by [c] cycles. [c] must be >= 0. *)
+
+val reset : t -> unit
+(** Reset the clock to cycle 0 (counters are independent, see {!Stats}). *)
+
+val elapsed : t -> since:int -> int
+(** [elapsed t ~since] is [now t - since]. *)
+
+val time : t -> (unit -> 'a) -> 'a * int
+(** [time t f] runs [f ()] and returns its result with the cycles charged
+    during the call. *)
+
+val us : t -> int -> float
+(** Convert cycles to microseconds under the clock's model. *)

@@ -1,0 +1,67 @@
+type t = {
+  freq_ghz : float;
+  syscall : int;
+  vma_setup : int;
+  pte_write : int;
+  pt_node_alloc : int;
+  fault_trap : int;
+  mem_ref_dram : int;
+  mem_ref_nvm_read : int;
+  mem_ref_nvm_write : int;
+  cache_ref : int;
+  tlb_hit : int;
+  tlb_shootdown : int;
+  cores : int;
+  ipi : int;
+  zero_byte_num : int;
+  zero_byte_den : int;
+  frame_alloc : int;
+  struct_page_init : int;
+  fs_lookup : int;
+  fs_extent_op : int;
+  range_table_op : int;
+  scheduler : int;
+  copy_byte_num : int;
+  copy_byte_den : int;
+}
+
+let default =
+  {
+    freq_ghz = 2.0;
+    syscall = 1600;
+    vma_setup = 12800;
+    pte_write = 520;
+    pt_node_alloc = 400;
+    fault_trap = 2400;
+    mem_ref_dram = 80;
+    mem_ref_nvm_read = 120;
+    mem_ref_nvm_write = 400;
+    cache_ref = 4;
+    tlb_hit = 1;
+    tlb_shootdown = 400;
+    cores = 1;
+    ipi = 4000;
+    zero_byte_num = 1;
+    zero_byte_den = 4;
+    frame_alloc = 200;
+    struct_page_init = 120;
+    fs_lookup = 2400;
+    fs_extent_op = 800;
+    range_table_op = 600;
+    scheduler = 3000;
+    copy_byte_num = 1;
+    copy_byte_den = 8;
+  }
+
+let shootdown_cost t = t.tlb_shootdown + ((t.cores - 1) * t.ipi)
+
+let cycles_to_us t c = float_of_int c /. (t.freq_ghz *. 1000.0)
+let cycles_to_ms t c = cycles_to_us t c /. 1000.0
+let zero_cost t ~bytes = bytes * t.zero_byte_num / t.zero_byte_den
+let copy_cost t ~bytes = bytes * t.copy_byte_num / t.copy_byte_den
+
+let pp ppf t =
+  Format.fprintf ppf
+    "cost model: %.1f GHz, syscall=%d vma=%d pte=%d fault=%d dram=%d nvm(r/w)=%d/%d shootdown=%d"
+    t.freq_ghz t.syscall t.vma_setup t.pte_write t.fault_trap t.mem_ref_dram
+    t.mem_ref_nvm_read t.mem_ref_nvm_write t.tlb_shootdown

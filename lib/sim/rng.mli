@@ -1,0 +1,38 @@
+(** Deterministic pseudo-random numbers (xoshiro256 star-star).
+
+    The simulator never uses [Random] from the stdlib so that every
+    experiment is exactly reproducible from a seed. *)
+
+type t
+
+val create : seed:int -> t
+(** [create ~seed] builds a generator. Equal seeds give equal streams. *)
+
+val copy : t -> t
+(** Independent copy with the same current state. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+
+val int_in : t -> lo:int -> hi:int -> int
+(** Uniform in [lo, hi] inclusive. Requires [lo <= hi]. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed sample with the given mean. *)
+
+val zipf : t -> n:int -> theta:float -> int
+(** Zipf-like sample in [0, n) with skew [theta] in (0, 1); higher theta is
+    more skewed. Uses the standard rejection-free approximation of
+    Gray et al. *)

@@ -1,0 +1,28 @@
+(** Named event counters.
+
+    Each simulated component owns a [Stats.t] and bumps counters such as
+    "tlb_miss" or "minor_fault"; experiments snapshot and diff them. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> string -> unit
+(** Increment a counter by one (creating it at 0 first if needed). *)
+
+val add : t -> string -> int -> unit
+(** Add [n] to a counter. *)
+
+val get : t -> string -> int
+(** Current value; 0 for a counter never touched. *)
+
+val reset : t -> unit
+(** Zero every counter. *)
+
+val snapshot : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val diff : before:(string * int) list -> after:(string * int) list -> (string * int) list
+(** Per-counter difference [after - before], dropping zero entries. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+(** ASCII table rendering for experiment output.
+
+    The bench harness prints one table per reproduced figure; this module
+    keeps the formatting in one place so every experiment reads the same. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+(** A table with a caption and column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; must have as many cells as there are columns. *)
+
+val render : t -> string
+(** The fully formatted table, right-aligned numeric-friendly columns. *)
+
+val print : t -> unit
+(** [print t] writes [render t] to stdout followed by a blank line. *)
+
+val cell_int : int -> string
+val cell_float : ?dp:int -> float -> string
+val cell_bytes : int -> string
+(** Formatting helpers for common cell kinds ([dp] = decimal places,
+    default 2). *)

@@ -1,0 +1,40 @@
+let kib n = n * 1024
+let mib n = n * 1024 * 1024
+let gib n = n * 1024 * 1024 * 1024
+let tib n = n * 1024 * 1024 * 1024 * 1024
+let page_shift = 12
+let page_size = 1 lsl page_shift
+let huge_2m = 2 * 1024 * 1024
+let huge_1g = 1024 * 1024 * 1024
+let pages_of_bytes n = (n + page_size - 1) / page_size
+
+let round_up n ~align =
+  assert (align > 0 && align land (align - 1) = 0);
+  (n + align - 1) land lnot (align - 1)
+
+let round_down n ~align =
+  assert (align > 0 && align land (align - 1) = 0);
+  n land lnot (align - 1)
+
+let is_aligned n ~align = n land (align - 1) = 0
+let is_power_of_two n = n >= 1 && n land (n - 1) = 0
+
+let log2_floor n =
+  assert (n >= 1);
+  let rec loop k n = if n = 1 then k else loop (k + 1) (n lsr 1) in
+  loop 0 n
+
+let log2_ceil n =
+  assert (n >= 1);
+  let f = log2_floor n in
+  if 1 lsl f = n then f else f + 1
+
+let rec pp_bytes ppf n =
+  let suffixes = [| "B"; "KiB"; "MiB"; "GiB"; "TiB"; "PiB" |] in
+  let rec pick i n = if n >= 1024 && n mod 1024 = 0 && i < 5 then pick (i + 1) (n / 1024) else (i, n) in
+  if n < 0 then Format.fprintf ppf "-%a" pp_bytes (-n)
+  else
+    let i, v = pick 0 n in
+    Format.fprintf ppf "%d%s" v suffixes.(i)
+
+let bytes_to_string n = Format.asprintf "%a" pp_bytes n

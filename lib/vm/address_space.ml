@@ -1,0 +1,128 @@
+module IntMap = Map.Make (Int)
+
+type t = {
+  clock : Sim.Clock.t;
+  stats : Sim.Stats.t;
+  table : Hw.Page_table.t;
+  mmu : Hw.Mmu.t;
+  range_table : Hw.Range_table.t option;
+  mutable vmas : Vma.t IntMap.t; (* keyed by start *)
+  mutable mmap_cursor : int;
+}
+
+(* Default mmap area base, clear of the code/heap/stack layout helpers in
+   Proc. *)
+let mmap_base = 0x2000_0000_0000
+
+let create ~clock ~stats ~levels ~alloc_pt_frame ?range_table ?(mode = Hw.Walker.Native)
+    ?tlb_sets ?tlb_ways ?range_tlb_entries ?(mmap_base = mmap_base) () =
+  let table = Hw.Page_table.create ~clock ~stats ~levels ~alloc_frame:alloc_pt_frame in
+  let mmu =
+    Hw.Mmu.create ~clock ~stats ~table ?range_table ~mode ?tlb_sets ?tlb_ways
+      ?range_tlb_entries ()
+  in
+  { clock; stats; table; mmu; range_table; vmas = IntMap.empty; mmap_cursor = mmap_base }
+
+let page_table t = t.table
+let mmu t = t.mmu
+let range_table t = t.range_table
+
+let alloc_va t ~len ~align =
+  let base = Sim.Units.round_up t.mmap_cursor ~align in
+  t.mmap_cursor <- base + Sim.Units.round_up len ~align:Sim.Units.page_size;
+  base
+
+let overlaps t (v : Vma.t) =
+  let below = IntMap.find_last_opt (fun s -> s <= v.Vma.start) t.vmas in
+  let above = IntMap.find_first_opt (fun s -> s > v.Vma.start) t.vmas in
+  (match below with Some (_, b) -> Vma.end_ b > v.Vma.start | None -> false)
+  || (match above with Some (_, a) -> Vma.end_ v > a.Vma.start | None -> false)
+
+let insert_vma t v =
+  if overlaps t v then invalid_arg "Address_space.insert_vma: overlap";
+  Sim.Clock.charge t.clock (Sim.Clock.model t.clock).Sim.Cost_model.vma_setup;
+  Sim.Stats.incr t.stats "vma_setup";
+  (* Merge with the VMA just below and/or just above, Linux-style. *)
+  let v =
+    match IntMap.find_last_opt (fun s -> s < v.Vma.start) t.vmas with
+    | Some (s, b) when Vma.can_merge b v ->
+      t.vmas <- IntMap.remove s t.vmas;
+      b.Vma.len <- b.Vma.len + v.Vma.len;
+      Sim.Stats.incr t.stats "vma_merge";
+      b
+    | _ -> v
+  in
+  let v =
+    match IntMap.find_first_opt (fun s -> s >= Vma.end_ v) t.vmas with
+    | Some (s, a) when Vma.can_merge v a ->
+      t.vmas <- IntMap.remove s t.vmas;
+      v.Vma.len <- v.Vma.len + a.Vma.len;
+      Sim.Stats.incr t.stats "vma_merge";
+      v
+    | _ -> v
+  in
+  t.vmas <- IntMap.add v.Vma.start v t.vmas
+
+let find_vma t ~va =
+  match IntMap.find_last_opt (fun s -> s <= va) t.vmas with
+  | Some (_, v) when Vma.contains v va -> Some v
+  | _ -> None
+
+let remove_range t ~start ~len =
+  let finish = start + len in
+  let removed = ref [] in
+  let to_delete = ref [] in
+  let to_add = ref [] in
+  IntMap.iter
+    (fun s (v : Vma.t) ->
+      let v_end = Vma.end_ v in
+      if v_end <= start || s >= finish then ()
+      else begin
+        to_delete := s :: !to_delete;
+        (* Head piece survives below the cut. *)
+        if s < start then begin
+          let head =
+            Vma.make ~start:s ~len:(start - s) ~prot:v.Vma.prot ~backing:v.Vma.backing
+              ~share:v.Vma.share
+          in
+          head.Vma.populated <- v.Vma.populated;
+          to_add := head :: !to_add
+        end;
+        (* Tail piece survives above the cut. *)
+        if v_end > finish then begin
+          let backing =
+            match v.Vma.backing with
+            | Vma.Anon -> Vma.Anon
+            | Vma.File { fs; ino; file_offset } ->
+              Vma.File { fs; ino; file_offset = file_offset + (finish - s) }
+          in
+          let tail =
+            Vma.make ~start:finish ~len:(v_end - finish) ~prot:v.Vma.prot ~backing
+              ~share:v.Vma.share
+          in
+          tail.Vma.populated <- v.Vma.populated;
+          to_add := tail :: !to_add
+        end;
+        let cut_start = max s start and cut_end = min v_end finish in
+        let piece =
+          Vma.make ~start:cut_start ~len:(cut_end - cut_start) ~prot:v.Vma.prot
+            ~backing:
+              (match v.Vma.backing with
+              | Vma.Anon -> Vma.Anon
+              | Vma.File { fs; ino; file_offset } ->
+                Vma.File { fs; ino; file_offset = file_offset + (cut_start - s) })
+            ~share:v.Vma.share
+        in
+        piece.Vma.populated <- v.Vma.populated;
+        removed := piece :: !removed
+      end)
+    t.vmas;
+  List.iter (fun s -> t.vmas <- IntMap.remove s t.vmas) !to_delete;
+  List.iter (fun v -> t.vmas <- IntMap.add v.Vma.start v t.vmas) !to_add;
+  !removed
+
+let vma_count t = IntMap.cardinal t.vmas
+let iter_vmas t f = IntMap.iter (fun _ v -> f v) t.vmas
+
+let mmap_cursor t = t.mmap_cursor
+let set_mmap_cursor t v = t.mmap_cursor <- v

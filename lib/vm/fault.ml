@@ -1,0 +1,143 @@
+exception Segfault of int
+
+type ctx = {
+  mem : Physmem.Phys_mem.t;
+  meta : Page_meta.t;
+  buddy : Alloc.Buddy.t;
+  swap : Swap.t;
+  zero : Physmem.Zero_engine.t;
+}
+
+type kind = Minor | Major
+
+let clock ctx = Physmem.Phys_mem.clock ctx.mem
+let stats ctx = Physmem.Phys_mem.stats ctx.mem
+let model ctx = Sim.Clock.model (clock ctx)
+
+(* A frame with unspecified contents: buddy first; when the buddy is dry
+   the memory may be sitting in the zero engine's dirty queue (frames
+   freed but not yet laundered) — zero one on demand rather than OOM. *)
+let raw_frame ctx =
+  match Alloc.Buddy.alloc ctx.buddy ~order:0 with
+  | Some pfn -> Some pfn
+  | None ->
+    if Physmem.Zero_engine.background_step ctx.zero ~budget_frames:1 = 1 then
+      Physmem.Zero_engine.take_zeroed ctx.zero
+    else None
+
+let fresh_zero_frame ctx =
+  (* Prefer the pre-zeroed pool (O(1)); fall back to allocate + eager zero. *)
+  match Physmem.Zero_engine.take_zeroed ctx.zero with
+  | Some pfn -> pfn
+  | None -> (
+    match Alloc.Buddy.alloc ctx.buddy ~order:0 with
+    | Some pfn ->
+      Physmem.Zero_engine.eager_zero ctx.zero pfn;
+      pfn
+    | None -> (
+      match raw_frame ctx with
+      | Some pfn -> pfn (* laundered on demand: already zero *)
+      | None -> failwith "OOM"))
+
+let install ctx aspace ~va ~pfn ~prot =
+  Hw.Page_table.map_page (Address_space.page_table aspace)
+    ~va:(Sim.Units.round_down va ~align:Sim.Units.page_size)
+    ~pfn ~prot ~size:Hw.Page_size.Small;
+  Page_meta.get_page ctx.meta pfn;
+  Page_meta.inc_mapcount ctx.meta pfn;
+  Page_meta.set_flag ctx.meta pfn Page_meta.Uptodate true
+
+let populate_anon_page ctx ~aspace ~va ~prot =
+  let pfn = fresh_zero_frame ctx in
+  Page_meta.set_flag ctx.meta pfn Page_meta.Swapbacked true;
+  install ctx aspace ~va ~pfn ~prot
+
+let file_frame_of (vma : Vma.t) ~va =
+  match vma.Vma.backing with
+  | Vma.Anon -> invalid_arg "Fault.file_frame_of: anonymous VMA"
+  | Vma.File { fs; ino; _ } -> (
+    let page = Vma.file_page_of_va vma ~va in
+    let node = Fs.Memfs.inode fs ino in
+    match Fs.Extent_tree.lookup (Fs.Inode.extents node) ~page with
+    | Some pfn -> pfn
+    | None -> raise (Segfault va) (* access beyond EOF *))
+
+let populate_file_page ctx ~aspace ~(vma : Vma.t) ~va =
+  let pfn = file_frame_of vma ~va in
+  let prot =
+    match vma.Vma.share with
+    | Vma.Shared -> vma.Vma.prot
+    | Vma.Private ->
+      (* Map read-only so a later write takes a CoW fault. *)
+      { vma.Vma.prot with Hw.Prot.write = false }
+  in
+  install ctx aspace ~va ~pfn ~prot
+
+let cow ctx aspace ~va ~(old_leaf : Hw.Page_table.leaf) ~prot ~anon_backing =
+  let table = Address_space.page_table aspace in
+  let old_pfn = old_leaf.Hw.Page_table.pfn in
+  (* No zeroing needed: the copy below overwrites the whole page. *)
+  let pfn = match raw_frame ctx with Some pfn -> pfn | None -> failwith "OOM" in
+  (* Copy the old page's contents. *)
+  let content =
+    Physmem.Phys_mem.read ctx.mem ~addr:(Physmem.Frame.to_addr old_pfn) ~len:Sim.Units.page_size
+  in
+  Physmem.Phys_mem.write ctx.mem ~addr:(Physmem.Frame.to_addr pfn) (Bytes.to_string content);
+  let page_va = Sim.Units.round_down va ~align:Sim.Units.page_size in
+  Hw.Page_table.unmap_page table ~va:page_va;
+  Page_meta.dec_mapcount ctx.meta old_pfn;
+  Page_meta.put_page ctx.meta old_pfn;
+  (* A CoW'd anonymous frame with no mappings left is dead: recycle it.
+     File frames stay — the file system owns them. *)
+  if anon_backing && Page_meta.mapcount ctx.meta old_pfn = 0 then
+    Physmem.Zero_engine.put_dirty ctx.zero [ old_pfn ];
+  Hw.Tlb.invalidate_page (Hw.Mmu.tlb (Address_space.mmu aspace)) ~va:page_va;
+  install ctx aspace ~va:page_va ~pfn ~prot;
+  Sim.Stats.incr (stats ctx) "cow_fault"
+
+let handle ctx ~aspace ~pid ~va ~write =
+  Sim.Clock.charge (clock ctx) (model ctx).Sim.Cost_model.fault_trap;
+  Sim.Stats.incr (stats ctx) "page_fault";
+  match Address_space.find_vma aspace ~va with
+  | None -> raise (Segfault va)
+  | Some vma ->
+    if not (Hw.Prot.allows vma.Vma.prot ~write ~exec:false) then raise (Segfault va);
+    let table = Address_space.page_table aspace in
+    let page_va = Sim.Units.round_down va ~align:Sim.Units.page_size in
+    (match Hw.Page_table.lookup table ~va with
+    | Some (_, leaf) ->
+      (* Mapped but the access faulted: protection. Legal only as CoW. *)
+      if
+        write
+        && (not leaf.Hw.Page_table.prot.Hw.Prot.write)
+        && vma.Vma.prot.Hw.Prot.write
+        && vma.Vma.share = Vma.Private
+      then begin
+        let anon_backing = vma.Vma.backing = Vma.Anon in
+        cow ctx aspace ~va ~old_leaf:leaf ~prot:vma.Vma.prot ~anon_backing;
+        Sim.Stats.incr (stats ctx) "minor_fault";
+        Minor
+      end
+      else raise (Segfault va)
+    | None -> (
+      match vma.Vma.backing with
+      | Vma.Anon ->
+        if Swap.contains ctx.swap ~key:(pid, page_va) then begin
+          (* Major fault: bring the page back from the device. *)
+          let pfn = match raw_frame ctx with Some pfn -> pfn | None -> failwith "OOM" in
+          let ok = Swap.swap_in ctx.swap ~key:(pid, page_va) ~pfn in
+          assert ok;
+          Page_meta.set_flag ctx.meta pfn Page_meta.Swapbacked true;
+          install ctx aspace ~va ~pfn ~prot:vma.Vma.prot;
+          Sim.Stats.incr (stats ctx) "major_fault";
+          Major
+        end
+        else begin
+          populate_anon_page ctx ~aspace ~va ~prot:vma.Vma.prot;
+          Sim.Stats.incr (stats ctx) "minor_fault";
+          Minor
+        end
+      | Vma.File _ ->
+        populate_file_page ctx ~aspace ~vma ~va;
+        Sim.Stats.incr (stats ctx) "minor_fault";
+        Minor))

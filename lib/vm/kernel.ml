@@ -1,0 +1,450 @@
+module Frame = Physmem.Frame
+module Phys_mem = Physmem.Phys_mem
+
+type config = {
+  dram_bytes : int;
+  nvm_bytes : int;
+  levels : int;
+  walk_mode : Hw.Walker.mode;
+  reclaim_policy : Reclaim.policy;
+  tlb_sets : int;
+  tlb_ways : int;
+  range_tlb_entries : int;
+  fs_erase : Fs.Memfs.erase_policy;
+  swap_backing : [ `Device | `Pmfs ];
+  aslr : bool;
+  cost_model : Sim.Cost_model.t;
+}
+
+let default_config =
+  {
+    dram_bytes = Sim.Units.gib 1;
+    nvm_bytes = Sim.Units.gib 4;
+    levels = 4;
+    walk_mode = Hw.Walker.Native;
+    reclaim_policy = Reclaim.Clock;
+    tlb_sets = 128;
+    tlb_ways = 8;
+    range_tlb_entries = 32;
+    fs_erase = Fs.Memfs.Eager_zero;
+    swap_backing = `Device;
+    aslr = false;
+    cost_model = Sim.Cost_model.default;
+  }
+
+type t = {
+  config : config;
+  clock : Sim.Clock.t;
+  stats : Sim.Stats.t;
+  mem : Phys_mem.t;
+  meta : Page_meta.t;
+  buddy : Alloc.Buddy.t;
+  zero : Physmem.Zero_engine.t;
+  swap : Swap.t;
+  reclaim : Reclaim.t;
+  tmpfs : Fs.Memfs.t;
+  pmfs : Fs.Memfs.t option;
+  procs : (int, Proc.t) Hashtbl.t;
+  mutable next_pid : int;
+  userfault : Userfault.t;
+  aslr_rng : Sim.Rng.t;
+}
+
+let buddy_max_order = 10
+
+let create ?(config = default_config) () =
+  let clock = Sim.Clock.create config.cost_model in
+  let stats = Sim.Stats.create () in
+  let mem =
+    Phys_mem.create ~clock ~stats ~dram_bytes:config.dram_bytes ~nvm_bytes:config.nvm_bytes
+  in
+  let dram_frames = Phys_mem.dram_frames mem in
+  (* DRAM layout: the low half is the buddy-managed anonymous pool
+     (rounded to the buddy's block size); the rest backs tmpfs. *)
+  let block = 1 lsl buddy_max_order in
+  let anon_frames = Sim.Units.round_down (dram_frames / 2) ~align:block in
+  if anon_frames = 0 then invalid_arg "Kernel.create: DRAM too small";
+  let tmpfs_frames = dram_frames - anon_frames in
+  if tmpfs_frames = 0 then invalid_arg "Kernel.create: no room for tmpfs";
+  let buddy =
+    Alloc.Buddy.create ~mem ~first:0 ~count:anon_frames ~max_order:buddy_max_order ()
+  in
+  let tmpfs =
+    Fs.Memfs.create ~mem ~first:anon_frames ~count:tmpfs_frames ~mode:Fs.Memfs.Tmpfs
+      ~erase:config.fs_erase ()
+  in
+  let pmfs =
+    if config.nvm_bytes > 0 then
+      Some
+        (Fs.Memfs.create ~mem ~first:dram_frames
+           ~count:(Phys_mem.nvm_frames mem)
+           ~mode:Fs.Memfs.Pmfs ~erase:config.fs_erase ())
+    else None
+  in
+  let meta = Page_meta.create ~clock ~stats ~frames:(Phys_mem.total_frames mem) in
+  let zero = Physmem.Zero_engine.create mem in
+  let swap =
+    let backing =
+      match (config.swap_backing, pmfs) with
+      | `Pmfs, Some fs -> Swap.Swapfile fs
+      | `Pmfs, None -> invalid_arg "Kernel.create: swap_backing `Pmfs needs NVM"
+      | `Device, _ -> Swap.Device
+    in
+    Swap.create ~mem ~backing ()
+  in
+  let reclaim =
+    Reclaim.create ~mem ~meta ~buddy ~swap ~zero ~policy:config.reclaim_policy
+  in
+  {
+    config;
+    clock;
+    stats;
+    mem;
+    meta;
+    buddy;
+    zero;
+    swap;
+    reclaim;
+    tmpfs;
+    pmfs;
+    procs = Hashtbl.create 16;
+    next_pid = 1;
+    userfault = Userfault.create ();
+    aslr_rng = Sim.Rng.create ~seed:0x51ed;
+  }
+
+let config t = t.config
+let clock t = t.clock
+let stats t = t.stats
+let mem t = t.mem
+let page_meta t = t.meta
+let buddy t = t.buddy
+let zero_engine t = t.zero
+let swap t = t.swap
+let reclaim t = t.reclaim
+let tmpfs t = t.tmpfs
+let pmfs t = t.pmfs
+
+let userfault t = t.userfault
+
+let fault_ctx t =
+  { Fault.mem = t.mem; meta = t.meta; buddy = t.buddy; swap = t.swap; zero = t.zero }
+
+let charge_boot t = Page_meta.init_range t.meta ~first:0 ~count:(Phys_mem.total_frames t.mem)
+
+let charge t c = Sim.Clock.charge t.clock c
+let model t = Sim.Clock.model t.clock
+let charge_syscall t =
+  charge t (model t).Sim.Cost_model.syscall;
+  Sim.Stats.incr t.stats "syscall"
+
+let alloc_pt_frame t () =
+  match Alloc.Buddy.alloc t.buddy ~order:0 with
+  | Some pfn -> pfn
+  | None ->
+    (* Launder a frame out of the zero engine's dirty queue on demand. *)
+    if Physmem.Zero_engine.background_step t.zero ~budget_frames:1 = 1 then
+      match Physmem.Zero_engine.take_zeroed t.zero with
+      | Some pfn -> pfn
+      | None -> failwith "OOM: page-table frame"
+    else failwith "OOM: page-table frame"
+
+let create_process t ?(range_translations = false) () =
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  let range_table =
+    if range_translations then Some (Hw.Range_table.create ~clock:t.clock ~stats:t.stats ())
+    else None
+  in
+  let mmap_base =
+    if t.config.aslr then
+      (* 16 bits of entropy at 2 MiB granularity, clear of the fixed windows. *)
+      Some (0x2000_0000_0000 + (Sim.Rng.int t.aslr_rng (1 lsl 16) * Sim.Units.huge_2m))
+    else None
+  in
+  let aspace =
+    Address_space.create ~clock:t.clock ~stats:t.stats ~levels:t.config.levels
+      ~alloc_pt_frame:(alloc_pt_frame t) ?range_table ~mode:t.config.walk_mode
+      ~tlb_sets:t.config.tlb_sets ~tlb_ways:t.config.tlb_ways
+      ~range_tlb_entries:t.config.range_tlb_entries ?mmap_base ()
+  in
+  let p = Proc.create ~pid ~aspace in
+  Hashtbl.replace t.procs pid p;
+  p
+
+let process_count t = Hashtbl.length t.procs
+let processes t = t.procs
+
+(* Release one mapped page during munmap/exit teardown. *)
+let release_page t (vma : Vma.t) ~page_va (leaf : Hw.Page_table.leaf) =
+  let pfn = leaf.Hw.Page_table.pfn in
+  Page_meta.dec_mapcount t.meta pfn;
+  Page_meta.put_page t.meta pfn;
+  match vma.Vma.backing with
+  | Vma.Anon ->
+    ignore page_va;
+    if Page_meta.mapcount t.meta pfn = 0 then
+      Physmem.Zero_engine.put_dirty t.zero [ pfn ]
+  | Vma.File _ ->
+    (* File frames belong to the file system; nothing to free here. *)
+    ()
+
+let munmap t proc ~va ~len =
+  charge_syscall t;
+  let aspace = proc.Proc.aspace in
+  let table = Address_space.page_table aspace in
+  let removed = Address_space.remove_range aspace ~start:va ~len in
+  List.iter
+    (fun (vma : Vma.t) ->
+      (* Per-page teardown: the baseline's linear unmap cost. *)
+      let pages = vma.Vma.len / Sim.Units.page_size in
+      for i = 0 to pages - 1 do
+        let page_va = vma.Vma.start + (i * Sim.Units.page_size) in
+        match Hw.Page_table.lookup table ~va:page_va with
+        | Some (_, leaf) when leaf.Hw.Page_table.size = Hw.Page_size.Small ->
+          release_page t vma ~page_va leaf;
+          Hw.Page_table.unmap_page table ~va:page_va
+        | Some (_, leaf) ->
+          (* Huge leaf: unmap once at its base. *)
+          let span = Hw.Page_size.bytes leaf.Hw.Page_table.size in
+          if Sim.Units.is_aligned page_va ~align:span then begin
+            release_page t vma ~page_va leaf;
+            Hw.Page_table.unmap_page table ~va:page_va
+          end
+        | None -> ()
+      done;
+      match vma.Vma.backing with
+      | Vma.File { fs; ino; _ } -> Fs.Memfs.close_file fs ino
+      | Vma.Anon -> ())
+    removed;
+  Hw.Mmu.invalidate_range (Address_space.mmu aspace) ~va ~len
+
+let exit_process t proc =
+  let vmas = ref [] in
+  Address_space.iter_vmas proc.Proc.aspace (fun v -> vmas := v :: !vmas);
+  List.iter (fun (v : Vma.t) -> munmap t proc ~va:v.Vma.start ~len:v.Vma.len) !vmas;
+  proc.Proc.alive <- false;
+  Hashtbl.remove t.procs proc.Proc.pid
+
+let register_if_anon t proc ~va =
+  let aspace = proc.Proc.aspace in
+  match Address_space.find_vma aspace ~va with
+  | Some { Vma.backing = Vma.Anon; _ } -> (
+    match Hw.Page_table.lookup (Address_space.page_table aspace) ~va with
+    | Some (_, leaf) ->
+      Reclaim.register t.reclaim ~pid:proc.Proc.pid ~aspace ~va
+        ~pfn:leaf.Hw.Page_table.pfn
+    | None -> ())
+  | _ -> ()
+
+let mmap_anon t proc ~len ~prot ~populate =
+  charge_syscall t;
+  if len <= 0 then invalid_arg "Kernel.mmap_anon: empty mapping";
+  let len = Sim.Units.round_up len ~align:Sim.Units.page_size in
+  let aspace = proc.Proc.aspace in
+  let va = Address_space.alloc_va aspace ~len ~align:Sim.Units.page_size in
+  let vma = Vma.make ~start:va ~len ~prot ~backing:Vma.Anon ~share:Vma.Private in
+  vma.Vma.populated <- populate;
+  Address_space.insert_vma aspace vma;
+  if populate then begin
+    let ctx = fault_ctx t in
+    let pages = len / Sim.Units.page_size in
+    for i = 0 to pages - 1 do
+      let page_va = va + (i * Sim.Units.page_size) in
+      Fault.populate_anon_page ctx ~aspace ~va:page_va ~prot;
+      register_if_anon t proc ~va:page_va
+    done
+  end;
+  va
+
+let mmap_file t proc ~fs ~path ~prot ~share ~populate ?len ?(offset = 0) () =
+  charge_syscall t;
+  let ino =
+    match Fs.Memfs.lookup fs path with
+    | Some ino -> ino
+    | None -> invalid_arg ("Kernel.mmap_file: no such file: " ^ path)
+  in
+  let node = Fs.Memfs.inode fs ino in
+  if not (Hw.Prot.subset prot ~of_:node.Fs.Inode.prot) then
+    invalid_arg "Kernel.mmap_file: file permission denied";
+  let file_len = node.Fs.Inode.size in
+  let len =
+    match len with
+    | Some l -> Sim.Units.round_up l ~align:Sim.Units.page_size
+    | None -> Sim.Units.round_up (max 0 (file_len - offset)) ~align:Sim.Units.page_size
+  in
+  if len = 0 then invalid_arg "Kernel.mmap_file: empty mapping";
+  Fs.Memfs.open_file fs ino;
+  let aspace = proc.Proc.aspace in
+  let va = Address_space.alloc_va aspace ~len ~align:Sim.Units.page_size in
+  let vma =
+    Vma.make ~start:va ~len ~prot ~backing:(Vma.File { fs; ino; file_offset = offset }) ~share
+  in
+  vma.Vma.populated <- populate;
+  Address_space.insert_vma aspace vma;
+  if populate then begin
+    let ctx = fault_ctx t in
+    let pages = len / Sim.Units.page_size in
+    for i = 0 to pages - 1 do
+      let page_va = va + (i * Sim.Units.page_size) in
+      Fault.populate_file_page ctx ~aspace ~vma ~va:page_va
+    done
+  end;
+  va
+
+let mprotect t proc ~va ~len ~prot =
+  charge_syscall t;
+  let aspace = proc.Proc.aspace in
+  (match Address_space.find_vma aspace ~va with
+  | Some vma -> vma.Vma.prot <- prot
+  | None -> invalid_arg "Kernel.mprotect: unmapped");
+  ignore (Hw.Page_table.protect_range (Address_space.page_table aspace) ~va ~len ~prot);
+  Hw.Mmu.invalidate_range (Address_space.mmu aspace) ~va ~len
+
+let context_switch t ~from_ ~to_ ~asids =
+  ignore from_;
+  charge t (model t).Sim.Cost_model.scheduler;
+  Sim.Stats.incr t.stats "context_switch";
+  if not asids then Hw.Mmu.flush_tlbs (Address_space.mmu to_.Proc.aspace)
+
+let madvise_dontneed t proc ~va ~len =
+  charge_syscall t;
+  let aspace = proc.Proc.aspace in
+  let table = Address_space.page_table aspace in
+  let released = ref 0 in
+  let pages = Sim.Units.pages_of_bytes len in
+  for i = 0 to pages - 1 do
+    let page_va = Sim.Units.round_down va ~align:Sim.Units.page_size + (i * Sim.Units.page_size) in
+    match (Address_space.find_vma aspace ~va:page_va, Hw.Page_table.lookup table ~va:page_va) with
+    | Some { Vma.backing = Vma.Anon; _ }, Some (_, leaf)
+      when leaf.Hw.Page_table.size = Hw.Page_size.Small ->
+      let pfn = leaf.Hw.Page_table.pfn in
+      Hw.Page_table.unmap_page table ~va:page_va;
+      Hw.Tlb.invalidate_page (Hw.Mmu.tlb (Address_space.mmu aspace)) ~va:page_va;
+      Page_meta.dec_mapcount t.meta pfn;
+      Page_meta.put_page t.meta pfn;
+      if Page_meta.mapcount t.meta pfn = 0 then Physmem.Zero_engine.put_dirty t.zero [ pfn ];
+      incr released
+    | _ -> ()
+  done;
+  Sim.Stats.add t.stats "madvise_released" !released;
+  !released
+
+(* Deliver a fault to a user handler: trap, switch to the handler task,
+   run it, install the page via the UFFDIO_COPY path, switch back. *)
+let handle_userfault t proc ~va ~write ~prot ~(handler : Userfault.handler) =
+  let aspace = proc.Proc.aspace in
+  let m = model t in
+  charge t m.Sim.Cost_model.fault_trap;
+  charge t (2 * m.Sim.Cost_model.scheduler);
+  Sim.Stats.incr t.stats "userfault";
+  let page_va = Sim.Units.round_down va ~align:Sim.Units.page_size in
+  match handler ~va ~write with
+  | Userfault.Sigbus -> raise (Fault.Segfault va)
+  | Userfault.Zero_page | Userfault.Provide _ as r ->
+    charge_syscall t (* UFFDIO_COPY / UFFDIO_ZEROPAGE *);
+    let ctx = fault_ctx t in
+    let pfn =
+      match Physmem.Zero_engine.take_zeroed ctx.Fault.zero with
+      | Some pfn -> pfn
+      | None -> (
+        match Alloc.Buddy.alloc t.buddy ~order:0 with
+        | Some pfn ->
+          Physmem.Zero_engine.eager_zero ctx.Fault.zero pfn;
+          pfn
+        | None -> failwith "OOM")
+    in
+    (match r with
+    | Userfault.Provide content ->
+      Phys_mem.write t.mem ~addr:(Frame.to_addr pfn)
+        (String.sub content 0 (min (String.length content) Sim.Units.page_size))
+    | Userfault.Zero_page | Userfault.Sigbus -> ());
+    Hw.Page_table.map_page (Address_space.page_table aspace) ~va:page_va ~pfn ~prot
+      ~size:Hw.Page_size.Small;
+    Page_meta.get_page t.meta pfn;
+    Page_meta.inc_mapcount t.meta pfn
+
+let user_page_release t proc ~va =
+  let aspace = proc.Proc.aspace in
+  let table = Address_space.page_table aspace in
+  let page_va = Sim.Units.round_down va ~align:Sim.Units.page_size in
+  match Hw.Page_table.lookup table ~va:page_va with
+  | None -> None
+  | Some (_, leaf) ->
+    let pfn = leaf.Hw.Page_table.pfn in
+    Hw.Page_table.unmap_page table ~va:page_va;
+    Hw.Tlb.invalidate_page (Hw.Mmu.tlb (Address_space.mmu aspace)) ~va:page_va;
+    Page_meta.dec_mapcount t.meta pfn;
+    Page_meta.put_page t.meta pfn;
+    Physmem.Zero_engine.put_dirty t.zero [ pfn ];
+    Sim.Stats.incr t.stats "userfault_evict";
+    Some pfn
+
+let rec access t proc ~va ~write =
+  let aspace = proc.Proc.aspace in
+  match Hw.Mmu.access (Address_space.mmu aspace) ~mem:t.mem ~va ~write with
+  | Ok () -> ()
+  | Error _ ->
+    (match
+       ( Hw.Page_table.lookup (Address_space.page_table aspace) ~va,
+         Userfault.find t.userfault ~pid:proc.Proc.pid ~va )
+     with
+    | None, Some (handler, prot) ->
+      (* Missing page in a registered range: user-level paging. *)
+      handle_userfault t proc ~va ~write ~prot ~handler;
+      access t proc ~va ~write
+    | _ -> kernel_fault t proc ~va ~write);
+    ()
+
+and kernel_fault t proc ~va ~write =
+  let aspace = proc.Proc.aspace in
+  (let kind = Fault.handle (fault_ctx t) ~aspace ~pid:proc.Proc.pid ~va ~write in
+   match kind with
+   | Fault.Major -> (
+     (* The page came back from swap with real contents: keep it dirty so
+        a later eviction writes it out again. *)
+     match Hw.Page_table.lookup (Address_space.page_table aspace) ~va with
+     | Some (_, leaf) -> leaf.Hw.Page_table.dirty <- true
+     | None -> ())
+   | Fault.Minor -> ());
+  register_if_anon t proc ~va;
+  access t proc ~va ~write
+
+let access_range t proc ~va ~len ~write ~stride =
+  if stride <= 0 then invalid_arg "Kernel.access_range: bad stride";
+  let count = ref 0 in
+  let cursor = ref va in
+  while !cursor < va + len do
+    access t proc ~va:!cursor ~write;
+    incr count;
+    cursor := !cursor + stride
+  done;
+  !count
+
+let mlock t proc ~va ~len =
+  charge_syscall t;
+  let aspace = proc.Proc.aspace in
+  let pages = Sim.Units.pages_of_bytes len in
+  for i = 0 to pages - 1 do
+    let page_va = va + (i * Sim.Units.page_size) in
+    (* Fault the page in if needed, then pin it. *)
+    access t proc ~va:page_va ~write:false;
+    match Hw.Page_table.lookup (Address_space.page_table aspace) ~va:page_va with
+    | Some (_, leaf) ->
+      let pfn = leaf.Hw.Page_table.pfn in
+      Page_meta.get_page t.meta pfn;
+      Page_meta.set_flag t.meta pfn Page_meta.Pinned true;
+      Page_meta.set_flag t.meta pfn Page_meta.Mlocked true;
+      Page_meta.set_flag t.meta pfn Page_meta.Unevictable true
+    | None -> assert false
+  done;
+  Sim.Stats.add t.stats "mlocked_pages" pages
+
+let read_syscall t proc ~fs ~ino ~off ~len =
+  ignore proc;
+  charge_syscall t;
+  let data = Fs.Memfs.read_file fs ino ~off ~len in
+  let n = Bytes.length data in
+  (* Copy into the user buffer. *)
+  charge t (Sim.Cost_model.copy_cost (model t) ~bytes:n);
+  n

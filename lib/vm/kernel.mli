@@ -1,0 +1,127 @@
+(** The baseline operating system: a Linux-like VM over the simulated
+    machine. This is the system the paper criticises — every operation
+    below does per-page work — and the comparison point for the
+    file-only-memory library ({!Fom}).
+
+    One [Kernel.t] owns the machine: physical memory, the buddy
+    allocator, per-page metadata, a tmpfs (DRAM) and optionally a PMFS
+    (NVM), the swap device, the reclaim lists, and all processes. *)
+
+type config = {
+  dram_bytes : int;
+  nvm_bytes : int;
+  levels : int;  (** page-table levels: 4 or 5 *)
+  walk_mode : Hw.Walker.mode;
+  reclaim_policy : Reclaim.policy;
+  tlb_sets : int;
+  tlb_ways : int;
+  range_tlb_entries : int;  (** capacity given to processes created with range translations *)
+  fs_erase : Fs.Memfs.erase_policy;  (** zeroing discipline of tmpfs and PMFS *)
+  swap_backing : [ `Device | `Pmfs ];  (** where swapped pages go: NVMe-class device, or a swapfile in PMFS *)
+  aslr : bool;  (** randomize each process's mmap base (2 MiB granularity). Note PBM regions are exempt by construction — the security trade of VA = PA + offset. *)
+  cost_model : Sim.Cost_model.t;
+}
+
+val default_config : config
+(** 1 GiB DRAM + 4 GiB NVM, 4 levels, native walks, CLOCK reclaim,
+    1024-entry TLB, 32-entry range TLB, default cost model. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+
+(** {1 Machine access} *)
+
+val config : t -> config
+val clock : t -> Sim.Clock.t
+val stats : t -> Sim.Stats.t
+val mem : t -> Physmem.Phys_mem.t
+val page_meta : t -> Page_meta.t
+val buddy : t -> Alloc.Buddy.t
+val zero_engine : t -> Physmem.Zero_engine.t
+val swap : t -> Swap.t
+val reclaim : t -> Reclaim.t
+val tmpfs : t -> Fs.Memfs.t
+val pmfs : t -> Fs.Memfs.t option
+val fault_ctx : t -> Fault.ctx
+
+val charge_boot : t -> unit
+(** Charge the boot-time per-page metadata initialisation for the whole
+    machine (linear in physical memory; kept out of {!create} so
+    experiments can measure it separately). *)
+
+(** {1 Processes} *)
+
+val create_process : t -> ?range_translations:bool -> unit -> Proc.t
+(** A fresh process. With [range_translations] it gets a range table and
+    range TLB in addition to its radix page table. *)
+
+val exit_process : t -> Proc.t -> unit
+(** Tear down every mapping and mark the process dead. *)
+
+val process_count : t -> int
+
+val processes : t -> (int, Proc.t) Hashtbl.t
+(** The live process table (pid -> process). Treat as read-only; used by
+    the OOM killer and diagnostics. *)
+
+(** {1 Syscalls} *)
+
+val mmap_anon : t -> Proc.t -> len:int -> prot:Hw.Prot.t -> populate:bool -> int
+(** mmap(MAP_ANONYMOUS | MAP_PRIVATE [| MAP_POPULATE]): returns the
+    mapping's base VA. *)
+
+val mmap_file :
+  t -> Proc.t -> fs:Fs.Memfs.t -> path:string -> prot:Hw.Prot.t -> share:Vma.share ->
+  populate:bool -> ?len:int -> ?offset:int -> unit -> int
+(** Map a file (whole file by default). Takes a reference on the file. *)
+
+val munmap : t -> Proc.t -> va:int -> len:int -> unit
+(** Unmap a range: per-page PTE teardown, TLB shootdown, frame release —
+    the baseline's linear unmap. *)
+
+val mprotect : t -> Proc.t -> va:int -> len:int -> prot:Hw.Prot.t -> unit
+
+val mlock : t -> Proc.t -> va:int -> len:int -> unit
+(** Pin pages for DMA: per-page flag updates and refcounts, after first
+    faulting everything in — the cost the paper contrasts with files'
+    implicit pinning. *)
+
+val access : t -> Proc.t -> va:int -> write:bool -> unit
+(** One user-level memory access: MMU translate, taking and resolving
+    page faults as needed. Raises {!Fault.Segfault} on invalid access. *)
+
+val access_range : t -> Proc.t -> va:int -> len:int -> write:bool -> stride:int -> int
+(** Touch [va + k*stride] for every multiple inside the range; returns
+    the number of accesses. Convenience for the benchmarks. *)
+
+val read_syscall : t -> Proc.t -> fs:Fs.Memfs.t -> ino:int -> off:int -> len:int -> int
+(** The read() path: trap + file-system read + copy to the user buffer.
+    Returns bytes read. *)
+
+val context_switch : t -> from_:Proc.t -> to_:Proc.t -> asids:bool -> unit
+(** Switch the CPU between processes: charges the scheduler cost, and —
+    without address-space identifiers ([asids:false], the old-x86
+    behaviour) — flushes the incoming process's TLBs, since its entries
+    could not have been kept alongside another process's. With ASIDs the
+    entries survive, which is also what makes globally shared mappings
+    (FOM masters, PBM) pay off across switches. *)
+
+val madvise_dontneed : t -> Proc.t -> va:int -> len:int -> int
+(** MADV_DONTNEED on an anonymous range: per-page unmap + frame release +
+    shootdown; the VMA stays, later touches refault zero pages. Returns
+    pages released. This is the per-page release path the paper says the
+    heap "need not" use under file-only memory. *)
+
+(** {1 User-level paging (userfaultfd)} *)
+
+val userfault : t -> Userfault.t
+(** The machine-wide userfault registry. Faults on unmapped pages inside
+    a registered range are delivered to the user handler (charging the
+    trap, two context switches and the UFFDIO_COPY syscall) instead of
+    the kernel fault path. *)
+
+val user_page_release : t -> Proc.t -> va:int -> Physmem.Frame.t option
+(** Evict one handler-installed page: unmap it, shoot down its TLB entry
+    and free the frame. Returns the frame it occupied, or [None] if the
+    page was not mapped. The user pager's half of user-level swapping. *)

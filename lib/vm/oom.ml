@@ -1,0 +1,22 @@
+let pick_victim k ?except () =
+  let best = ref None in
+  Hashtbl.iter
+    (fun pid (p : Proc.t) ->
+      if Some pid <> except && p.Proc.alive then begin
+        let rss = Procfs.rss_pages p in
+        match !best with
+        | Some (_, best_rss, best_pid) when best_rss > rss || (best_rss = rss && best_pid < pid)
+          -> ()
+        | _ -> best := Some (p, rss, pid)
+      end)
+    (Kernel.processes k);
+  Option.map (fun (p, _, _) -> p) !best
+
+let on_pressure k ?except () =
+  match pick_victim k ?except () with
+  | None -> None
+  | Some victim ->
+    let pid = victim.Proc.pid in
+    Kernel.exit_process k victim;
+    Sim.Stats.incr (Kernel.stats k) "oom_kill";
+    Some pid

@@ -1,0 +1,12 @@
+(** The out-of-memory killer: the baseline's last resort when the
+    anonymous pool runs dry. Contrast with file-only memory, where
+    pressure is relieved by deleting discardable files
+    ({!O1mem.Discard}) instead of killing processes. *)
+
+val pick_victim : Kernel.t -> ?except:int -> unit -> Proc.t option
+(** The live process with the largest resident set (ties broken by pid),
+    skipping pid [except]. *)
+
+val on_pressure : Kernel.t -> ?except:int -> unit -> int option
+(** Kill the victim (orderly teardown frees its pages) and return its
+    pid, or [None] when no process can be killed. *)

@@ -1,0 +1,60 @@
+(** Per-page kernel metadata — the simulator's [struct page].
+
+    The paper counts 25 flags and 38 fields in Linux's page structure and
+    argues most of it is unnecessary with ample persistent memory. We
+    model the flags the baseline VM actually exercises plus the full
+    space cost (64 bytes per 4 KiB page). Records are created lazily
+    host-side, but the boot-time initialisation cost and the steady-state
+    space cost are computed over all frames, as on a real machine. *)
+
+type flag =
+  | Locked
+  | Referenced
+  | Uptodate
+  | Dirty
+  | Lru
+  | Active
+  | Slab_page
+  | Reserved
+  | Private
+  | Writeback
+  | Head
+  | Swapcache
+  | Swapbacked
+  | Mappedtodisk
+  | Reclaim
+  | Unevictable
+  | Mlocked
+  | Pinned
+
+type t
+
+val create : clock:Sim.Clock.t -> stats:Sim.Stats.t -> frames:int -> t
+
+val frames : t -> int
+
+val get_flag : t -> Physmem.Frame.t -> flag -> bool
+val set_flag : t -> Physmem.Frame.t -> flag -> bool -> unit
+(** Each flag update charges a small metadata-write cost. *)
+
+val refcount : t -> Physmem.Frame.t -> int
+val get_page : t -> Physmem.Frame.t -> unit
+(** Increment the frame's reference count (Linux [get_page]). *)
+
+val put_page : t -> Physmem.Frame.t -> unit
+(** Decrement; raises [Invalid_argument] below zero. *)
+
+val mapcount : t -> Physmem.Frame.t -> int
+val inc_mapcount : t -> Physmem.Frame.t -> unit
+val dec_mapcount : t -> Physmem.Frame.t -> unit
+
+val init_range : t -> first:Physmem.Frame.t -> count:int -> unit
+(** Model boot-time initialisation of a frame range: charges
+    [struct_page_init] per frame — one of the paper's linear costs. *)
+
+val bytes_per_page : int
+(** 64, as in Linux. *)
+
+val metadata_bytes : t -> int
+(** [frames * bytes_per_page]: what the kernel pays for the whole
+    machine, touched or not. *)

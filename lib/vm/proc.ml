@@ -1,0 +1,8 @@
+type t = { pid : int; aspace : Address_space.t; mutable alive : bool }
+
+let create ~pid ~aspace = { pid; aspace; alive = true }
+
+let pp ppf t =
+  Format.fprintf ppf "pid %d (%s, %d vmas)" t.pid
+    (if t.alive then "alive" else "dead")
+    (Address_space.vma_count t.aspace)

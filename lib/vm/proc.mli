@@ -1,0 +1,6 @@
+(** A simulated process: a pid bound to an address space. *)
+
+type t = { pid : int; aspace : Address_space.t; mutable alive : bool }
+
+val create : pid:int -> aspace:Address_space.t -> t
+val pp : Format.formatter -> t -> unit

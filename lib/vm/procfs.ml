@@ -1,0 +1,39 @@
+let maps (proc : Proc.t) =
+  let buf = Buffer.create 256 in
+  Address_space.iter_vmas proc.Proc.aspace (fun v ->
+      Buffer.add_string buf
+        (Format.asprintf "%012x-%012x %a %s\n" v.Vma.start (Vma.end_ v) Hw.Prot.pp v.Vma.prot
+           (match v.Vma.backing with
+           | Vma.Anon -> "anon"
+           | Vma.File { ino; file_offset; _ } ->
+             Printf.sprintf "file ino=%d off=%#x" ino file_offset)));
+  Buffer.contents buf
+
+let rss_pages (proc : Proc.t) =
+  let table = Address_space.page_table proc.Proc.aspace in
+  let n = ref 0 in
+  Hw.Page_table.iter_leaves table (fun _ leaf ->
+      n := !n + Hw.Page_size.frames leaf.Hw.Page_table.size);
+  !n
+
+let pss_pages k (proc : Proc.t) =
+  let meta = Kernel.page_meta k in
+  let table = Address_space.page_table proc.Proc.aspace in
+  let acc = ref 0.0 in
+  Hw.Page_table.iter_leaves table (fun _ leaf ->
+      let pages = Hw.Page_size.frames leaf.Hw.Page_table.size in
+      let share = max 1 (Page_meta.mapcount meta leaf.Hw.Page_table.pfn) in
+      acc := !acc +. (float_of_int pages /. float_of_int share));
+  !acc
+
+let pt_bytes (proc : Proc.t) =
+  Hw.Page_table.metadata_bytes (Address_space.page_table proc.Proc.aspace)
+
+let smaps_summary k (proc : Proc.t) =
+  Printf.sprintf "pid %d: %d vmas, rss %s, pss %s, page tables %s"
+    proc.Proc.pid
+    (Address_space.vma_count proc.Proc.aspace)
+    (Sim.Units.bytes_to_string (rss_pages proc * Sim.Units.page_size))
+    (Sim.Units.bytes_to_string
+       (int_of_float (pss_pages k proc *. float_of_int Sim.Units.page_size)))
+    (Sim.Units.bytes_to_string (pt_bytes proc))

@@ -1,0 +1,23 @@
+(** /proc-style introspection: the observability a downstream user needs
+    to see where memory went — including proportional accounting (PSS)
+    that makes page-table/frame sharing visible. *)
+
+val maps : Proc.t -> string
+(** One line per VMA, /proc/pid/maps style:
+    [start-end perms backing]. *)
+
+val rss_pages : Proc.t -> int
+(** Resident pages: base-page count covered by present leaves (a 2 MiB
+    leaf counts as 512). *)
+
+val pss_pages : Kernel.t -> Proc.t -> float
+(** Proportional set size: each resident page divided by its frame's
+    mapcount — shared file pages and CoW-shared pages are split between
+    their owners. *)
+
+val pt_bytes : Proc.t -> int
+(** Physical memory spent on this process's own page-table nodes
+    (grafted foreign subtrees are not counted — they are shared). *)
+
+val smaps_summary : Kernel.t -> Proc.t -> string
+(** Human-readable rollup: VMAs, RSS, PSS, page-table bytes. *)

@@ -1,0 +1,29 @@
+(** Swap backing store: the place the baseline VM pushes cold dirty
+    pages. Two flavours:
+
+    - [Device]: an NVMe-class block device (~10 us per 4 KiB op);
+    - [Swapfile]: a file in the persistent-memory FS — on an
+      NVM machine even the baseline's swap traffic lands in memory,
+      which is the paper's point that the whole mechanism is vestigial.
+
+    The paper's position is that ample persistent memory removes the
+    need for any of this; it exists here to price the baseline. *)
+
+type backing = Device | Swapfile of Fs.Memfs.t
+
+type t
+
+val create : mem:Physmem.Phys_mem.t -> ?backing:backing -> unit -> t
+(** [backing] defaults to [Device]. With [Swapfile fs] a "/swapfile" is
+    created in [fs] and extended on demand. *)
+
+val swap_out : t -> key:int * int -> pfn:Physmem.Frame.t -> unit
+(** Copy the frame out to the backing store (charging the transfer) and
+    zero it. [key] identifies the page, conventionally (pid, va). *)
+
+val swap_in : t -> key:int * int -> pfn:Physmem.Frame.t -> bool
+(** Restore a page into [pfn]. [false] if the key was never swapped
+    out. *)
+
+val contains : t -> key:int * int -> bool
+val slots_used : t -> int

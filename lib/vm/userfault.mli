@@ -1,0 +1,32 @@
+(** User-level page-fault handling, after Linux's userfaultfd.
+
+    The paper (§3.1): with file-only memory the kernel stops swapping;
+    "those applications that need swapping could implement it themselves
+    using techniques such as userfaultd". A process registers a virtual
+    range with a handler; faults there are delivered to the handler,
+    which supplies page contents (UFFDIO_COPY), asks for a zero page, or
+    refuses the access. *)
+
+type resolution =
+  | Provide of string  (** install a page holding these bytes (rest zero) *)
+  | Zero_page  (** install a zero-filled page *)
+  | Sigbus  (** deny: the faulting access raises {!Fault.Segfault} *)
+
+type handler = va:int -> write:bool -> resolution
+
+type t
+
+val create : unit -> t
+
+val register : t -> pid:int -> va:int -> len:int -> prot:Hw.Prot.t -> handler -> unit
+(** Watch [va, va+len) of process [pid]. Pages installed on behalf of the
+    handler get protection [prot]. Raises [Invalid_argument] on overlap
+    with an existing registration of the same process. *)
+
+val unregister : t -> pid:int -> va:int -> unit
+(** Drop the registration starting at [va]. *)
+
+val find : t -> pid:int -> va:int -> (handler * Hw.Prot.t) option
+(** The handler covering [va], if any. *)
+
+val region_count : t -> pid:int -> int

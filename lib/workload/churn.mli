@@ -1,0 +1,32 @@
+(** Allocation-churn traces: a randomized sequence of variable-size
+    allocations with bounded lifetimes, replayable against either heap
+    (baseline malloc vs file-only memory) for the end-to-end and
+    space-overhead experiments (E14/E15). *)
+
+type op = Alloc of { id : int; bytes : int } | Touch of { id : int } | Free of { id : int }
+
+val generate :
+  rng:Sim.Rng.t -> ops:int -> ?min_bytes:int -> ?max_bytes:int -> ?mean_lifetime:int ->
+  unit -> op list
+(** A trace of [ops] operations. Sizes are log-uniform in
+    [min_bytes, max_bytes] (defaults 64 B .. 4 MiB); each allocation is
+    freed after an exponentially distributed number of subsequent
+    operations (mean [mean_lifetime], default 50); every allocation is
+    touched (one byte per page) once while live. All allocations are
+    eventually freed. *)
+
+val to_string : op list -> string
+(** Serialize a trace, one op per line ("A id bytes" / "T id" / "F id"). *)
+
+val of_string : string -> op list
+(** Parse a serialized trace. Raises [Invalid_argument] on malformed
+    input. *)
+
+type heap_driver = {
+  h_malloc : bytes:int -> int;
+  h_free : int -> unit;
+  h_touch : va:int -> bytes:int -> unit;
+}
+
+val run : op list -> heap_driver -> int
+(** Replay a trace; returns the number of operations executed. *)

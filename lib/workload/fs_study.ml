@@ -1,0 +1,65 @@
+type params = {
+  machines : int;
+  years : int;
+  samples_per_year : int;
+  initial_capacity_gb : float;
+  annual_data_growth : float;
+  replace_threshold : float;
+}
+
+let default_params =
+  {
+    machines = 500;
+    years = 5;
+    samples_per_year = 4;
+    initial_capacity_gb = 256.0;
+    annual_data_growth = 0.45;
+    replace_threshold = 0.65;
+  }
+
+type result = {
+  mean_utilization : float;
+  median_utilization : float;
+  fraction_below_half : float;
+  samples : int;
+}
+
+type machine = { mutable capacity : float; mutable data : float }
+
+let run ~rng p =
+  let machines =
+    Array.init p.machines (fun _ ->
+        (* Fleets are heterogeneous: start each machine at a random point
+           of its device's life. *)
+        let capacity = p.initial_capacity_gb *. (1.0 +. Sim.Rng.float rng) in
+        let data = capacity *. (0.1 +. (0.5 *. Sim.Rng.float rng)) in
+        { capacity; data })
+  in
+  let samples = ref [] in
+  let steps = p.years * p.samples_per_year in
+  let growth_per_step = (1.0 +. p.annual_data_growth) ** (1.0 /. float_of_int p.samples_per_year) in
+  for _ = 1 to steps do
+    Array.iter
+      (fun m ->
+        (* Jittered growth: individual machines differ step to step. *)
+        let jitter = 0.9 +. (0.2 *. Sim.Rng.float rng) in
+        m.data <- m.data *. growth_per_step *. jitter;
+        if m.data > m.capacity *. p.replace_threshold then
+          (* Replace with a device ~2.5x larger (capacity per dollar grows
+             faster than data), data carried over. *)
+          m.capacity <- m.capacity *. 2.5;
+        samples := (m.data /. m.capacity) :: !samples)
+      machines
+  done;
+  let arr = Array.of_list !samples in
+  Array.sort compare arr;
+  let n = Array.length arr in
+  let mean = Array.fold_left ( +. ) 0.0 arr /. float_of_int n in
+  let median = arr.(n / 2) in
+  let below = Array.fold_left (fun acc u -> if u < 0.5 then acc + 1 else acc) 0 arr in
+  {
+    mean_utilization = mean;
+    median_utilization = median;
+    fraction_below_half = float_of_int below /. float_of_int n;
+    samples = n;
+  }

@@ -1,0 +1,28 @@
+(** A synthetic re-creation of the Agrawal et al. five-year file-system
+    study's headline number (paper §2): mean and median file-system
+    utilization stay below 50% because capacity is bought ahead of
+    demand. The model: a fleet of machines whose data volume grows at a
+    steady annual rate; when a device fills past a replacement threshold
+    it is swapped for one twice as large. Utilization sampled across the
+    fleet shows the excess capacity the paper proposes to lend to
+    volatile memory. *)
+
+type params = {
+  machines : int;
+  years : int;
+  samples_per_year : int;
+  initial_capacity_gb : float;
+  annual_data_growth : float;  (** e.g. 0.45 = +45%/year *)
+  replace_threshold : float;  (** replace when utilization exceeds this *)
+}
+
+val default_params : params
+
+type result = {
+  mean_utilization : float;
+  median_utilization : float;
+  fraction_below_half : float;  (** samples with utilization < 50% *)
+  samples : int;
+}
+
+val run : rng:Sim.Rng.t -> params -> result

@@ -1,0 +1,34 @@
+(** Multi-process macro workloads: several simulated applications
+    time-share one machine under a round-robin scheduler, so whole-system
+    effects (context switches, TLB flushes, competing allocations) show
+    up — the level at which the paper's per-operation savings compound. *)
+
+type op =
+  | Compute of int  (** busy cycles not touching the memory system *)
+  | Alloc of { slot : int; bytes : int }  (** allocate into a per-app slot *)
+  | Touch of { slot : int; write : bool }  (** touch one byte per page of a slot *)
+  | Free of int  (** free a slot *)
+
+type app = { name : string; script : op list }
+
+val desktop_mix : rng:Sim.Rng.t -> apps:int -> steps:int -> app list
+(** A synthetic "desktop": each app interleaves compute bursts with
+    allocations (log-uniform 16 KiB – 4 MiB), touches and frees. The mix
+    is deterministic per seed. *)
+
+type backend = Baseline | Fom
+
+type result = {
+  sim_us : float;  (** total simulated time to drain every script *)
+  switches : int;
+  faults : int;
+  tlb_misses : int;
+}
+
+val run :
+  Os.Kernel.t -> ?fom:O1mem.Fom.t -> backend:backend -> asids:bool -> quantum:int ->
+  app list -> result
+(** Execute every app to completion, round-robin with [quantum] ops per
+    slice, charging a context switch between slices. [backend] selects
+    how [Alloc]/[Touch]/[Free] are implemented: demand-paged anonymous
+    mmap, or file-only memory (requires [fom]). *)

@@ -1,0 +1,20 @@
+(** Workload generators shared by the benchmarks. *)
+
+val size_sweep_kb : unit -> int list
+(** The paper's file-size axis: 4 KB to 1024 KB in powers of two. *)
+
+val page_sweep : unit -> int list
+(** The PMFS report's page-count axis: 1, 2, 16, 64, 256, 1k, 4k, 16k. *)
+
+type pattern = Sequential | One_byte_per_page | Random_pages of int | Zipf_pages of int
+(** [Random_pages n] / [Zipf_pages n]: n single-byte accesses at
+    uniformly / Zipf-distributed page offsets. *)
+
+val offsets : rng:Sim.Rng.t -> pattern -> len:int -> int list
+(** Byte offsets (relative to a region base) realising the pattern over a
+    region of [len] bytes. *)
+
+val touch_with :
+  access:(va:int -> write:bool -> unit) -> base:int -> rng:Sim.Rng.t -> pattern ->
+  len:int -> write:bool -> int
+(** Drive any access function over the pattern; returns accesses made. *)

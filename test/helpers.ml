@@ -1,0 +1,49 @@
+(* Shared fixtures for the test suite. *)
+
+let mk_clock () = Sim.Clock.create Sim.Cost_model.default
+
+let mk_env () =
+  let clock = mk_clock () in
+  let stats = Sim.Stats.create () in
+  (clock, stats)
+
+let mk_mem ?(dram = Sim.Units.mib 64) ?(nvm = Sim.Units.mib 64) () =
+  let clock, stats = mk_env () in
+  Physmem.Phys_mem.create ~clock ~stats ~dram_bytes:dram ~nvm_bytes:nvm
+
+let small_config =
+  {
+    Os.Kernel.default_config with
+    Os.Kernel.dram_bytes = Sim.Units.mib 64;
+    nvm_bytes = Sim.Units.mib 64;
+  }
+
+let mk_kernel ?(config = small_config) () = Os.Kernel.create ~config ()
+
+let mk_fom ?config ?strategy () =
+  let kernel = mk_kernel ?config () in
+  let fom = O1mem.Fom.create kernel ?strategy () in
+  (kernel, fom)
+
+(* A page table whose node frames come from a trivial bump counter —
+   enough for pure MMU tests that never touch the frames. *)
+let mk_page_table ?(levels = 4) () =
+  let clock, stats = mk_env () in
+  let next = ref 0 in
+  let alloc_frame () =
+    incr next;
+    !next
+  in
+  (Hw.Page_table.create ~clock ~stats ~levels ~alloc_frame, clock, stats)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec loop i = i + n <= h && (String.sub haystack i n = needle || loop (i + 1)) in
+  n = 0 || loop 0

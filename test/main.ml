@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "o1mem"
+    [
+      ("sim", Test_sim.suite);
+      ("physmem", Test_physmem.suite);
+      ("alloc", Test_alloc.suite);
+      ("mmu", Test_mmu.suite);
+      ("memfs", Test_memfs.suite);
+      ("os", Test_os.suite);
+      ("fom", Test_fom.suite);
+      ("heap", Test_heap.suite);
+      ("workload", Test_workload.suite);
+      ("extensions", Test_extensions.suite);
+      ("model", Test_model.suite);
+      ("integration", Test_integration.suite);
+    ]

@@ -1,0 +1,389 @@
+open Helpers
+module Frame = Physmem.Frame
+
+let mk_buddy ?(frames = 4096) ?(merge = true) () =
+  let mem = mk_mem () in
+  (Alloc.Buddy.create ~mem ~first:0 ~count:frames ~merge (), mem)
+
+(* Buddy *)
+
+let test_buddy_basic_alloc_free () =
+  let b, _ = mk_buddy () in
+  check_int "initially all free" 4096 (Alloc.Buddy.free_frames_count b);
+  let p = Option.get (Alloc.Buddy.alloc b ~order:0) in
+  check_int "one frame gone" 4095 (Alloc.Buddy.free_frames_count b);
+  check_bool "allocated not free" false (Alloc.Buddy.is_free b p);
+  Alloc.Buddy.free b p ~order:0;
+  check_int "back to full" 4096 (Alloc.Buddy.free_frames_count b);
+  check_bool "free again" true (Alloc.Buddy.is_free b p)
+
+let test_buddy_split_and_merge () =
+  let b, mem = mk_buddy ~frames:1024 () in
+  let p = Option.get (Alloc.Buddy.alloc b ~order:0) in
+  check_bool "splits happened" true (Sim.Stats.get (Physmem.Phys_mem.stats mem) "buddy_split" > 0);
+  Alloc.Buddy.free b p ~order:0;
+  check_bool "merges happened" true (Sim.Stats.get (Physmem.Phys_mem.stats mem) "buddy_merge" > 0);
+  check_int "one max-order block restored" 1
+    (Alloc.Buddy.free_blocks_per_order b).(Alloc.Buddy.max_order b)
+
+let test_buddy_no_merge_mode () =
+  let b, _ = mk_buddy ~frames:1024 ~merge:false () in
+  let p = Option.get (Alloc.Buddy.alloc b ~order:0) in
+  Alloc.Buddy.free b p ~order:0;
+  (* Without merging the top-order block is not reconstituted. *)
+  check_bool "fragmented" true ((Alloc.Buddy.free_blocks_per_order b).(Alloc.Buddy.max_order b) = 0);
+  check_int "frames conserved" 1024 (Alloc.Buddy.free_frames_count b)
+
+let test_buddy_alignment () =
+  let b, _ = mk_buddy () in
+  for order = 0 to 5 do
+    let p = Option.get (Alloc.Buddy.alloc b ~order) in
+    check_int (Printf.sprintf "order %d aligned" order) 0 (p land ((1 lsl order) - 1))
+  done
+
+let test_buddy_exhaustion () =
+  let b, _ = mk_buddy ~frames:1024 () in
+  let blocks = ref [] in
+  let rec drain () =
+    match Alloc.Buddy.alloc b ~order:10 with
+    | Some p ->
+      blocks := p :: !blocks;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  check_int "exactly one top block" 1 (List.length !blocks);
+  check_bool "order-0 exhausted too" true (Alloc.Buddy.alloc b ~order:0 = None);
+  List.iter (fun p -> Alloc.Buddy.free b p ~order:10) !blocks;
+  check_int "restored" 1024 (Alloc.Buddy.free_frames_count b)
+
+let test_buddy_double_free_detected () =
+  let b, _ = mk_buddy () in
+  let p = Option.get (Alloc.Buddy.alloc b ~order:3) in
+  Alloc.Buddy.free b p ~order:3;
+  Alcotest.check_raises "double free" (Invalid_argument "Buddy.free: double free") (fun () ->
+      Alloc.Buddy.free b p ~order:3)
+
+let test_buddy_alloc_frames_rounding () =
+  let b, _ = mk_buddy () in
+  let p = Option.get (Alloc.Buddy.alloc_frames b ~frames:5) in
+  (* 5 frames -> order 3 block (8 frames). *)
+  check_int "rounded to 8" (4096 - 8) (Alloc.Buddy.free_frames_count b);
+  Alloc.Buddy.free b p ~order:3
+
+let prop_buddy_no_overlap =
+  qtest "buddy blocks never overlap" ~count:60
+    QCheck2.Gen.(list_size (int_range 1 40) (int_range 0 4))
+    (fun orders ->
+      let b, _ = mk_buddy ~frames:2048 () in
+      let blocks =
+        List.filter_map (fun order -> Option.map (fun p -> (p, order)) (Alloc.Buddy.alloc b ~order)) orders
+      in
+      let covered = Hashtbl.create 64 in
+      let ok = ref true in
+      List.iter
+        (fun (p, order) ->
+          for f = p to p + (1 lsl order) - 1 do
+            if Hashtbl.mem covered f then ok := false;
+            Hashtbl.replace covered f ()
+          done)
+        blocks;
+      List.iter (fun (p, order) -> Alloc.Buddy.free b p ~order) blocks;
+      !ok && Alloc.Buddy.free_frames_count b = 2048)
+
+(* Bitmap *)
+
+let mk_bitmap ?(frames = 1024) () =
+  let mem = mk_mem () in
+  Alloc.Bitmap_alloc.create ~mem ~first:100 ~count:frames
+
+let test_bitmap_contig () =
+  let b = mk_bitmap () in
+  let p = Option.get (Alloc.Bitmap_alloc.alloc_contig b ~count:10) in
+  check_int "starts at base" 100 p;
+  check_int "free" 1014 (Alloc.Bitmap_alloc.free_frames b);
+  let q = Option.get (Alloc.Bitmap_alloc.alloc_contig b ~count:5) in
+  check_int "next fit continues" 110 q;
+  Alloc.Bitmap_alloc.free_range b ~first:p ~count:10;
+  check_int "freed" 1019 (Alloc.Bitmap_alloc.free_frames b);
+  check_bool "is_free" true (Alloc.Bitmap_alloc.is_free b 100);
+  check_bool "allocated still held" false (Alloc.Bitmap_alloc.is_free b 110)
+
+let test_bitmap_wrap_around () =
+  let b = mk_bitmap ~frames:16 () in
+  let p1 = Option.get (Alloc.Bitmap_alloc.alloc_contig b ~count:12) in
+  Alloc.Bitmap_alloc.free_range b ~first:p1 ~count:12;
+  (* Cursor now points past frame 112; a 14-frame request must wrap. *)
+  let p2 = Option.get (Alloc.Bitmap_alloc.alloc_contig b ~count:14) in
+  check_int "wrapped to base" 100 p2
+
+let test_bitmap_fragmentation_blocks_large () =
+  let b = mk_bitmap ~frames:16 () in
+  let ps = List.init 8 (fun _ -> Option.get (Alloc.Bitmap_alloc.alloc_contig b ~count:2)) in
+  (* Free every other block: 8 free frames but max run = 2. *)
+  List.iteri
+    (fun i p -> if i mod 2 = 0 then Alloc.Bitmap_alloc.free_range b ~first:p ~count:2)
+    ps;
+  check_int "free frames" 8 (Alloc.Bitmap_alloc.free_frames b);
+  check_int "largest run" 2 (Alloc.Bitmap_alloc.largest_free_run b);
+  check_bool "big alloc fails" true (Alloc.Bitmap_alloc.alloc_contig b ~count:4 = None);
+  check_bool "small alloc fits" true (Alloc.Bitmap_alloc.alloc_contig b ~count:2 <> None)
+
+let test_bitmap_double_free () =
+  let b = mk_bitmap () in
+  let p = Option.get (Alloc.Bitmap_alloc.alloc_contig b ~count:4) in
+  Alloc.Bitmap_alloc.free_range b ~first:p ~count:4;
+  Alcotest.check_raises "double free" (Invalid_argument "Bitmap_alloc.free_range: double free")
+    (fun () -> Alloc.Bitmap_alloc.free_range b ~first:p ~count:4)
+
+let test_bitmap_cursor_in_last_window_terminates () =
+  (* Regression: with the next-fit cursor inside the final [count]-sized
+     window and only scattered single free frames, the scan used to loop
+     forever (the wrap test could never reach the cursor). *)
+  let b = mk_bitmap ~frames:64 () in
+  let a = Option.get (Alloc.Bitmap_alloc.alloc_contig b ~count:62) in
+  let _b1 = Option.get (Alloc.Bitmap_alloc.alloc_contig b ~count:1) in
+  let _b2 = Option.get (Alloc.Bitmap_alloc.alloc_contig b ~count:1) in
+  (* cursor now points at index 63 (inside the last 4-frame window). *)
+  List.iter
+    (fun off -> Alloc.Bitmap_alloc.free_range b ~first:(a + off) ~count:1)
+    [ 5; 7; 9; 11 ];
+  (* 4 free frames, no 4-run: must return None, not hang. *)
+  check_bool "no run found terminates" true (Alloc.Bitmap_alloc.alloc_contig b ~count:4 = None);
+  check_bool "singles still allocatable" true (Alloc.Bitmap_alloc.alloc_contig b ~count:1 <> None)
+
+let test_bitmap_metadata () =
+  let b = mk_bitmap ~frames:1024 () in
+  check_int "one bit per frame" 128 (Alloc.Bitmap_alloc.metadata_bytes b);
+  Alcotest.(check (float 0.001)) "utilization zero" 0.0 (Alloc.Bitmap_alloc.utilization b)
+
+let prop_bitmap_conservation =
+  qtest "bitmap conserves frames" ~count:60
+    QCheck2.Gen.(list_size (int_range 1 30) (int_range 1 20))
+    (fun sizes ->
+      let b = mk_bitmap ~frames:512 () in
+      let allocs =
+        List.filter_map
+          (fun count -> Option.map (fun p -> (p, count)) (Alloc.Bitmap_alloc.alloc_contig b ~count))
+          sizes
+      in
+      let held = List.fold_left (fun acc (_, c) -> acc + c) 0 allocs in
+      let ok = Alloc.Bitmap_alloc.free_frames b = 512 - held in
+      List.iter (fun (p, count) -> Alloc.Bitmap_alloc.free_range b ~first:p ~count) allocs;
+      ok && Alloc.Bitmap_alloc.free_frames b = 512)
+
+(* Extent allocator *)
+
+let mk_extent ?(frames = 1024) ?(policy = Alloc.Extent_alloc.First_fit) () =
+  let mem = mk_mem () in
+  Alloc.Extent_alloc.create ~mem ~first:0 ~count:frames ~policy
+
+let test_extent_alloc_free_coalesce () =
+  let e = mk_extent () in
+  check_int "one extent" 1 (Alloc.Extent_alloc.extent_count e);
+  let a = Option.get (Alloc.Extent_alloc.alloc e ~frames:100) in
+  let b = Option.get (Alloc.Extent_alloc.alloc e ~frames:100) in
+  check_int "contiguous first fit" 100 b;
+  Alloc.Extent_alloc.free e ~first:a ~frames:100;
+  check_int "two extents while hole" 2 (Alloc.Extent_alloc.extent_count e);
+  Alloc.Extent_alloc.free e ~first:b ~frames:100;
+  check_int "coalesced back to one" 1 (Alloc.Extent_alloc.extent_count e);
+  check_int "all free" 1024 (Alloc.Extent_alloc.free_frames e)
+
+let test_extent_best_fit () =
+  let e = mk_extent ~policy:Alloc.Extent_alloc.Best_fit () in
+  let a = Option.get (Alloc.Extent_alloc.alloc e ~frames:10) in
+  let _b = Option.get (Alloc.Extent_alloc.alloc e ~frames:50) in
+  let c = Option.get (Alloc.Extent_alloc.alloc e ~frames:10) in
+  (* Free the two 10-frame holes plus the big tail; best-fit for 10 should
+     take a 10-frame hole, not carve the tail. *)
+  Alloc.Extent_alloc.free e ~first:a ~frames:10;
+  Alloc.Extent_alloc.free e ~first:c ~frames:10;
+  let d = Option.get (Alloc.Extent_alloc.alloc e ~frames:10) in
+  check_bool "reused small hole" true (d = a || d = c)
+
+let test_extent_overlap_free_rejected () =
+  let e = mk_extent () in
+  let a = Option.get (Alloc.Extent_alloc.alloc e ~frames:10) in
+  Alloc.Extent_alloc.free e ~first:a ~frames:10;
+  Alcotest.check_raises "overlap" (Invalid_argument "Extent_alloc.free: overlaps free space")
+    (fun () -> Alloc.Extent_alloc.free e ~first:a ~frames:10)
+
+let test_extent_largest_and_fragmentation () =
+  let e = mk_extent ~frames:100 () in
+  Alcotest.(check (float 0.001)) "no frag when whole" 0.0 (Alloc.Extent_alloc.fragmentation e);
+  let a = Option.get (Alloc.Extent_alloc.alloc e ~frames:40) in
+  let _b = Option.get (Alloc.Extent_alloc.alloc e ~frames:20) in
+  Alloc.Extent_alloc.free e ~first:a ~frames:40;
+  (* Free space: [0,40) and [60,100) -> largest 40 of 80. *)
+  check_int "largest" 40 (Alloc.Extent_alloc.largest_free e);
+  Alcotest.(check (float 0.001)) "frag 0.5" 0.5 (Alloc.Extent_alloc.fragmentation e)
+
+let test_extent_alloc_largest () =
+  let e = mk_extent ~frames:100 () in
+  let a = Option.get (Alloc.Extent_alloc.alloc e ~frames:30) in
+  Alloc.Extent_alloc.free e ~first:a ~frames:30;
+  ignore (Option.get (Alloc.Extent_alloc.alloc e ~frames:10));
+  (* holes: [10,30) is 20; [30..100) minus alloc'd... compute via API *)
+  let start, len = Option.get (Alloc.Extent_alloc.alloc_largest e) in
+  check_bool "grabbed the biggest" true (len >= 20);
+  Alloc.Extent_alloc.free e ~first:start ~frames:len
+
+let prop_extent_conservation =
+  qtest "extent allocator conserves frames and coalesces fully" ~count:60
+    QCheck2.Gen.(list_size (int_range 1 30) (int_range 1 30))
+    (fun sizes ->
+      let e = mk_extent ~frames:512 () in
+      let allocs =
+        List.filter_map
+          (fun frames -> Option.map (fun p -> (p, frames)) (Alloc.Extent_alloc.alloc e ~frames))
+          sizes
+      in
+      List.iter (fun (p, frames) -> Alloc.Extent_alloc.free e ~first:p ~frames) allocs;
+      Alloc.Extent_alloc.free_frames e = 512 && Alloc.Extent_alloc.extent_count e = 1)
+
+(* Slab *)
+
+let mk_slab ?(obj_bytes = 4096) () =
+  let mem = mk_mem () in
+  let buddy = Alloc.Buddy.create ~mem ~first:0 ~count:4096 () in
+  (Alloc.Slab.create_cache ~mem ~backing:buddy ~name:"t" ~obj_bytes (), buddy)
+
+let test_slab_alloc_free () =
+  let c, _ = mk_slab () in
+  let a = Option.get (Alloc.Slab.alloc c) in
+  let b = Option.get (Alloc.Slab.alloc c) in
+  check_bool "distinct objects" true (a <> b);
+  check_int "live" 2 (Alloc.Slab.live_objects c);
+  Alloc.Slab.free c a;
+  check_int "live after free" 1 (Alloc.Slab.live_objects c);
+  let a' = Option.get (Alloc.Slab.alloc c) in
+  check_int "LIFO reuse" a a'
+
+let test_slab_reaps_empty_slabs () =
+  let c, buddy = mk_slab () in
+  let before = Alloc.Buddy.free_frames_count buddy in
+  let objs = List.init 8 (fun _ -> Option.get (Alloc.Slab.alloc c)) in
+  check_bool "buddy consumed" true (Alloc.Buddy.free_frames_count buddy < before);
+  List.iter (Alloc.Slab.free c) objs;
+  check_int "slabs reaped" 0 (Alloc.Slab.slab_count c);
+  check_int "buddy restored" before (Alloc.Buddy.free_frames_count buddy)
+
+let test_slab_rounding_and_waste () =
+  let c, _ = mk_slab ~obj_bytes:100 () in
+  check_int "rounded to 128" 128 (Alloc.Slab.obj_bytes c);
+  let _o = Option.get (Alloc.Slab.alloc c) in
+  check_bool "waste accounted" true (Alloc.Slab.wasted_bytes c > 0);
+  check_bool "footprint covers objects" true
+    (Alloc.Slab.footprint_bytes c >= Alloc.Slab.live_objects c * Alloc.Slab.obj_bytes c)
+
+let test_slab_double_free () =
+  let c, _ = mk_slab () in
+  let a = Option.get (Alloc.Slab.alloc c) in
+  let _b = Option.get (Alloc.Slab.alloc c) in
+  Alloc.Slab.free c a;
+  Alcotest.check_raises "double free" (Invalid_argument "Slab.free: double free") (fun () ->
+      Alloc.Slab.free c a)
+
+let prop_slab_distinct_addresses =
+  qtest "slab objects are distinct and aligned" ~count:40
+    QCheck2.Gen.(int_range 1 100)
+    (fun n ->
+      let c, _ = mk_slab ~obj_bytes:256 () in
+      let objs = List.init n (fun _ -> Option.get (Alloc.Slab.alloc c)) in
+      let distinct = List.sort_uniq compare objs in
+      List.length distinct = n && List.for_all (fun a -> a mod 256 = 0) objs)
+
+(* Log-structured allocator *)
+
+let mk_log () =
+  let mem = mk_mem () in
+  let extents = Alloc.Extent_alloc.create ~mem ~first:0 ~count:4096 ~policy:Alloc.Extent_alloc.First_fit in
+  Alloc.Log_alloc.create ~mem ~backing:extents ~segment_frames:256 ()
+
+let test_log_alloc_basic () =
+  let l = mk_log () in
+  let h1 = Option.get (Alloc.Log_alloc.alloc l ~bytes:100) in
+  let h2 = Option.get (Alloc.Log_alloc.alloc l ~bytes:100) in
+  check_bool "bump allocation is contiguous" true
+    (Alloc.Log_alloc.addr_of l h2 = Alloc.Log_alloc.addr_of l h1 + 112);
+  check_int "sizes rounded to 16" 112 (Alloc.Log_alloc.size_of l h1);
+  Alloc.Log_alloc.free l h1;
+  Alcotest.check_raises "stale handle" Not_found (fun () ->
+      ignore (Alloc.Log_alloc.addr_of l h1))
+
+let test_log_cleaner_reclaims () =
+  let l = mk_log () in
+  (* Fill a few segments then free most objects. *)
+  let handles = List.init 64 (fun _ -> Option.get (Alloc.Log_alloc.alloc l ~bytes:65536)) in
+  let segs_before = Alloc.Log_alloc.segment_count l in
+  check_bool "several segments" true (segs_before >= 4);
+  List.iteri (fun i h -> if i mod 4 <> 0 then Alloc.Log_alloc.free l h) handles;
+  let reclaimed = Alloc.Log_alloc.clean l ~max_segments:16 in
+  check_bool "cleaner reclaimed segments" true (reclaimed > 0);
+  check_bool "live objects survive with valid addresses" true
+    (List.for_all
+       (fun (i, h) -> i mod 4 <> 0 || Alloc.Log_alloc.addr_of l h >= 0)
+       (List.mapi (fun i h -> (i, h)) handles));
+  check_bool "utilization improved" true (Alloc.Log_alloc.utilization l > 0.2)
+
+let test_log_double_free () =
+  let l = mk_log () in
+  let h = Option.get (Alloc.Log_alloc.alloc l ~bytes:64) in
+  Alloc.Log_alloc.free l h;
+  Alcotest.check_raises "double free" (Invalid_argument "Log_alloc.free: unknown or already-freed handle")
+    (fun () -> Alloc.Log_alloc.free l h)
+
+let test_log_oversized_rejected () =
+  let l = mk_log () in
+  Alcotest.check_raises "too big" (Invalid_argument "Log_alloc.alloc: object larger than segment")
+    (fun () -> ignore (Alloc.Log_alloc.alloc l ~bytes:(Sim.Units.mib 2)))
+
+let prop_log_live_accounting =
+  qtest "log allocator live-byte accounting" ~count:40
+    QCheck2.Gen.(list_size (int_range 1 40) (int_range 16 4096))
+    (fun sizes ->
+      let l = mk_log () in
+      let hs = List.filter_map (fun bytes -> Alloc.Log_alloc.alloc l ~bytes) sizes in
+      let expect =
+        List.fold_left (fun acc h -> acc + Alloc.Log_alloc.size_of l h) 0 hs
+      in
+      let ok = Alloc.Log_alloc.live_bytes l = expect in
+      List.iter (Alloc.Log_alloc.free l) hs;
+      ok && Alloc.Log_alloc.live_bytes l = 0)
+
+let suite =
+  [
+    Alcotest.test_case "buddy: alloc/free round trip" `Quick test_buddy_basic_alloc_free;
+    Alcotest.test_case "buddy: split and merge" `Quick test_buddy_split_and_merge;
+    Alcotest.test_case "buddy: non-merging mode fragments" `Quick test_buddy_no_merge_mode;
+    Alcotest.test_case "buddy: block alignment" `Quick test_buddy_alignment;
+    Alcotest.test_case "buddy: exhaustion and restore" `Quick test_buddy_exhaustion;
+    Alcotest.test_case "buddy: double free detected" `Quick test_buddy_double_free_detected;
+    Alcotest.test_case "buddy: alloc_frames rounds up" `Quick test_buddy_alloc_frames_rounding;
+    prop_buddy_no_overlap;
+    Alcotest.test_case "bitmap: contiguous alloc, next-fit" `Quick test_bitmap_contig;
+    Alcotest.test_case "bitmap: wrap-around search" `Quick test_bitmap_wrap_around;
+    Alcotest.test_case "bitmap: fragmentation blocks large" `Quick test_bitmap_fragmentation_blocks_large;
+    Alcotest.test_case "bitmap: double free detected" `Quick test_bitmap_double_free;
+    Alcotest.test_case "bitmap: metadata is one bit per frame" `Quick test_bitmap_metadata;
+    Alcotest.test_case "bitmap: cursor-in-last-window terminates" `Quick
+      test_bitmap_cursor_in_last_window_terminates;
+    prop_bitmap_conservation;
+    Alcotest.test_case "extent: alloc/free/coalesce" `Quick test_extent_alloc_free_coalesce;
+    Alcotest.test_case "extent: best fit reuses holes" `Quick test_extent_best_fit;
+    Alcotest.test_case "extent: overlapping free rejected" `Quick test_extent_overlap_free_rejected;
+    Alcotest.test_case "extent: fragmentation metric" `Quick test_extent_largest_and_fragmentation;
+    Alcotest.test_case "extent: alloc_largest" `Quick test_extent_alloc_largest;
+    prop_extent_conservation;
+    Alcotest.test_case "slab: alloc/free, LIFO reuse" `Quick test_slab_alloc_free;
+    Alcotest.test_case "slab: empty slabs reaped to buddy" `Quick test_slab_reaps_empty_slabs;
+    Alcotest.test_case "slab: rounding and waste accounting" `Quick test_slab_rounding_and_waste;
+    Alcotest.test_case "slab: double free detected" `Quick test_slab_double_free;
+    prop_slab_distinct_addresses;
+    Alcotest.test_case "log: bump allocation" `Quick test_log_alloc_basic;
+    Alcotest.test_case "log: cleaner reclaims segments" `Quick test_log_cleaner_reclaims;
+    Alcotest.test_case "log: double free detected" `Quick test_log_double_free;
+    Alcotest.test_case "log: oversized object rejected" `Quick test_log_oversized_rejected;
+    prop_log_live_accounting;
+  ]

@@ -1,0 +1,122 @@
+open Helpers
+module K = Os.Kernel
+
+let mk_malloc () =
+  let k = mk_kernel () in
+  let p = K.create_process k () in
+  (k, p, Heap.Malloc_sim.create k p)
+
+let test_malloc_basic () =
+  let _, _, h = mk_malloc () in
+  let a = Heap.Malloc_sim.malloc h ~bytes:100 in
+  let b = Heap.Malloc_sim.malloc h ~bytes:100 in
+  check_bool "distinct" true (a <> b);
+  check_bool "size class rounding" true (Heap.Malloc_sim.size_of h a = Some 128);
+  Heap.Malloc_sim.free h a;
+  let a' = Heap.Malloc_sim.malloc h ~bytes:100 in
+  check_int "free-list reuse" a a'
+
+let test_malloc_large_uses_mmap () =
+  let _, _, h = mk_malloc () in
+  let before = Heap.Malloc_sim.arena_count h in
+  let big = Heap.Malloc_sim.malloc h ~bytes:(Sim.Units.kib 256) in
+  check_int "no arena used for large" before (Heap.Malloc_sim.arena_count h);
+  check_bool "page-rounded" true (Heap.Malloc_sim.size_of h big = Some (Sim.Units.kib 256));
+  Heap.Malloc_sim.free h big;
+  check_bool "freed" true (Heap.Malloc_sim.size_of h big = None)
+
+let test_malloc_touch_faults () =
+  let k, p, h = mk_malloc () in
+  let va = Heap.Malloc_sim.malloc h ~bytes:(Sim.Units.kib 256) in
+  ignore (K.access_range k p ~va ~len:(Sim.Units.kib 256) ~write:true ~stride:Sim.Units.page_size);
+  check_int "touching mallocd memory faults per page" 64
+    (Sim.Stats.get (K.stats k) "minor_fault")
+
+let test_malloc_accounting () =
+  let _, _, h = mk_malloc () in
+  let a = Heap.Malloc_sim.malloc h ~bytes:1000 in
+  check_int "live" 1024 (Heap.Malloc_sim.live_bytes h);
+  check_bool "footprint covers arena" true (Heap.Malloc_sim.footprint_bytes h >= Sim.Units.mib 1);
+  Heap.Malloc_sim.free h a;
+  check_int "live zero" 0 (Heap.Malloc_sim.live_bytes h);
+  Alcotest.check_raises "double free" (Invalid_argument "Malloc_sim.free: unknown block")
+    (fun () -> Heap.Malloc_sim.free h a)
+
+let mk_fheap () =
+  let kernel, fom = mk_fom () in
+  let proc = Os.Kernel.create_process kernel () in
+  (kernel, fom, proc, Heap.Fom_heap.create fom proc ())
+
+let test_fom_heap_basic () =
+  let _, _, _, h = mk_fheap () in
+  let a = Heap.Fom_heap.malloc h ~bytes:100 in
+  let b = Heap.Fom_heap.malloc h ~bytes:5000 in
+  check_bool "distinct" true (a <> b);
+  check_bool "sizes" true (Heap.Fom_heap.size_of h a = Some 128);
+  Heap.Fom_heap.free h a;
+  let a' = Heap.Fom_heap.malloc h ~bytes:90 in
+  check_int "reuse" a a'
+
+let test_fom_heap_large_is_own_file () =
+  let _, fom, _, h = mk_fheap () in
+  let files_before = Fs.Memfs.file_count (O1mem.Fom.fs fom) in
+  let big = Heap.Fom_heap.malloc h ~bytes:(Sim.Units.mib 1) in
+  check_int "one more file" (files_before + 1) (Fs.Memfs.file_count (O1mem.Fom.fs fom));
+  Heap.Fom_heap.free h big;
+  check_int "file deleted on free" files_before (Fs.Memfs.file_count (O1mem.Fom.fs fom))
+
+let test_fom_heap_no_faults_on_touch () =
+  let kernel, fom, proc, h = mk_fheap () in
+  let va = Heap.Fom_heap.malloc h ~bytes:(Sim.Units.kib 256) in
+  ignore
+    (O1mem.Fom.access_range fom proc ~va ~len:(Sim.Units.kib 256) ~write:true
+       ~stride:Sim.Units.page_size);
+  check_int "no faults" 0 (Sim.Stats.get (Os.Kernel.stats kernel) "page_fault")
+
+let test_fom_heap_destroy () =
+  let _, fom, _, h = mk_fheap () in
+  let fs = O1mem.Fom.fs fom in
+  let free0 = Fs.Memfs.free_bytes fs in
+  ignore (Heap.Fom_heap.malloc h ~bytes:1000);
+  ignore (Heap.Fom_heap.malloc h ~bytes:(Sim.Units.mib 1));
+  check_bool "space in use" true (Fs.Memfs.free_bytes fs < free0);
+  Heap.Fom_heap.destroy h;
+  check_int "all space returned" free0 (Fs.Memfs.free_bytes fs);
+  check_int "no regions" 0 (Heap.Fom_heap.region_count h)
+
+let prop_both_heaps_distinct_blocks =
+  qtest "heap blocks never overlap (both heaps)" ~count:20
+    QCheck2.Gen.(list_size (int_range 2 25) (int_range 1 10_000))
+    (fun sizes ->
+      let _, _, mh = mk_malloc () in
+      let _, _, _, fh = mk_fheap () in
+      let check malloc size_of =
+        let blocks = List.map (fun b -> (malloc b, b)) sizes in
+        let ok = ref true in
+        let sorted = List.sort compare blocks in
+        let rec overlap = function
+          | (va1, _) :: ((va2, _) :: _ as rest) ->
+            (match size_of va1 with
+            | Some s when va1 + s > va2 -> ok := false
+            | _ -> ());
+            overlap rest
+          | _ -> ()
+        in
+        overlap sorted;
+        !ok
+      in
+      check (fun bytes -> Heap.Malloc_sim.malloc mh ~bytes) (Heap.Malloc_sim.size_of mh)
+      && check (fun bytes -> Heap.Fom_heap.malloc fh ~bytes) (Heap.Fom_heap.size_of fh))
+
+let suite =
+  [
+    Alcotest.test_case "malloc: size classes + reuse" `Quick test_malloc_basic;
+    Alcotest.test_case "malloc: large goes to mmap" `Quick test_malloc_large_uses_mmap;
+    Alcotest.test_case "malloc: touches fault per page" `Quick test_malloc_touch_faults;
+    Alcotest.test_case "malloc: accounting + double free" `Quick test_malloc_accounting;
+    Alcotest.test_case "fom heap: size classes + reuse" `Quick test_fom_heap_basic;
+    Alcotest.test_case "fom heap: large blocks are files" `Quick test_fom_heap_large_is_own_file;
+    Alcotest.test_case "fom heap: no faults on touch" `Quick test_fom_heap_no_faults_on_touch;
+    Alcotest.test_case "fom heap: destroy returns space" `Quick test_fom_heap_destroy;
+    prop_both_heaps_distinct_blocks;
+  ]

@@ -1,0 +1,191 @@
+open Helpers
+
+let test_units_basic () =
+  check_int "kib" 4096 (Sim.Units.kib 4);
+  check_int "mib" (1024 * 1024) (Sim.Units.mib 1);
+  check_int "gib" (1024 * 1024 * 1024) (Sim.Units.gib 1);
+  check_int "tib" (Sim.Units.gib 1024) (Sim.Units.tib 1);
+  check_int "page size" 4096 Sim.Units.page_size;
+  check_int "2m" (Sim.Units.mib 2) Sim.Units.huge_2m;
+  check_int "1g" (Sim.Units.gib 1) Sim.Units.huge_1g
+
+let test_units_pages () =
+  check_int "zero bytes" 0 (Sim.Units.pages_of_bytes 0);
+  check_int "one byte" 1 (Sim.Units.pages_of_bytes 1);
+  check_int "exactly one page" 1 (Sim.Units.pages_of_bytes 4096);
+  check_int "one over" 2 (Sim.Units.pages_of_bytes 4097)
+
+let test_units_round () =
+  check_int "up aligned" 8192 (Sim.Units.round_up 8192 ~align:4096);
+  check_int "up" 8192 (Sim.Units.round_up 4097 ~align:4096);
+  check_int "down" 4096 (Sim.Units.round_down 8191 ~align:4096);
+  check_bool "aligned" true (Sim.Units.is_aligned 8192 ~align:4096);
+  check_bool "unaligned" false (Sim.Units.is_aligned 8191 ~align:4096)
+
+let test_units_log2 () =
+  check_bool "pow2 1" true (Sim.Units.is_power_of_two 1);
+  check_bool "pow2 1024" true (Sim.Units.is_power_of_two 1024);
+  check_bool "pow2 1023" false (Sim.Units.is_power_of_two 1023);
+  check_bool "pow2 0" false (Sim.Units.is_power_of_two 0);
+  check_int "log2c 1" 0 (Sim.Units.log2_ceil 1);
+  check_int "log2c 5" 3 (Sim.Units.log2_ceil 5);
+  check_int "log2f 5" 2 (Sim.Units.log2_floor 5);
+  check_int "log2f 8" 3 (Sim.Units.log2_floor 8)
+
+let test_units_pp () =
+  check_string "bytes" "64KiB" (Sim.Units.bytes_to_string (Sim.Units.kib 64));
+  check_string "odd" "4097B" (Sim.Units.bytes_to_string 4097);
+  check_string "gib" "2GiB" (Sim.Units.bytes_to_string (Sim.Units.gib 2))
+
+let test_rng_deterministic () =
+  let a = Sim.Rng.create ~seed:42 and b = Sim.Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Sim.Rng.int a 1000) (Sim.Rng.int b 1000)
+  done
+
+let test_rng_copy () =
+  let a = Sim.Rng.create ~seed:7 in
+  ignore (Sim.Rng.int a 10);
+  let b = Sim.Rng.copy a in
+  check_int "copy continues identically" (Sim.Rng.int a 1_000_000) (Sim.Rng.int b 1_000_000)
+
+let test_rng_bounds () =
+  let r = Sim.Rng.create ~seed:1 in
+  for _ = 1 to 1000 do
+    let v = Sim.Rng.int r 17 in
+    check_bool "in range" true (v >= 0 && v < 17);
+    let w = Sim.Rng.int_in r ~lo:5 ~hi:9 in
+    check_bool "int_in range" true (w >= 5 && w <= 9);
+    let f = Sim.Rng.float r in
+    check_bool "float range" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_rng_zipf () =
+  let r = Sim.Rng.create ~seed:3 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 10_000 do
+    let v = Sim.Rng.zipf r ~n:100 ~theta:0.9 in
+    check_bool "zipf in range" true (v >= 0 && v < 100);
+    counts.(v) <- counts.(v) + 1
+  done;
+  check_bool "zipf is skewed towards low ranks" true (counts.(0) > counts.(50))
+
+let test_rng_shuffle () =
+  let r = Sim.Rng.create ~seed:11 in
+  let a = Array.init 50 Fun.id in
+  Sim.Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_clock_charge () =
+  let c = mk_clock () in
+  check_int "starts at zero" 0 (Sim.Clock.now c);
+  Sim.Clock.charge c 100;
+  Sim.Clock.charge c 23;
+  check_int "accumulates" 123 (Sim.Clock.now c);
+  check_int "elapsed" 23 (Sim.Clock.elapsed c ~since:100);
+  Sim.Clock.reset c;
+  check_int "reset" 0 (Sim.Clock.now c)
+
+let test_clock_time () =
+  let c = mk_clock () in
+  let r, cyc = Sim.Clock.time c (fun () -> Sim.Clock.charge c 55; "x") in
+  check_string "result" "x" r;
+  check_int "cycles" 55 cyc
+
+let test_cost_model_conversion () =
+  let m = Sim.Cost_model.default in
+  Alcotest.(check (float 1e-9)) "2000 cycles at 2GHz = 1us" 1.0 (Sim.Cost_model.cycles_to_us m 2000);
+  check_int "zero cost of a page" 1024 (Sim.Cost_model.zero_cost m ~bytes:4096);
+  check_int "copy cost" 512 (Sim.Cost_model.copy_cost m ~bytes:4096)
+
+let test_stats () =
+  let s = Sim.Stats.create () in
+  check_int "unset is zero" 0 (Sim.Stats.get s "x");
+  Sim.Stats.incr s "x";
+  Sim.Stats.add s "x" 4;
+  Sim.Stats.incr s "y";
+  check_int "x" 5 (Sim.Stats.get s "x");
+  let snap = Sim.Stats.snapshot s in
+  Alcotest.(check (list (pair string int))) "snapshot sorted" [ ("x", 5); ("y", 1) ] snap;
+  Sim.Stats.incr s "x";
+  let d = Sim.Stats.diff ~before:snap ~after:(Sim.Stats.snapshot s) in
+  Alcotest.(check (list (pair string int))) "diff" [ ("x", 1) ] d;
+  Sim.Stats.reset s;
+  check_int "reset" 0 (Sim.Stats.get s "x")
+
+let test_histogram () =
+  let h = Sim.Histogram.create () in
+  check_int "empty count" 0 (Sim.Histogram.count h);
+  List.iter (Sim.Histogram.observe h) [ 1; 2; 3; 4; 100 ];
+  check_int "count" 5 (Sim.Histogram.count h);
+  check_int "total" 110 (Sim.Histogram.total h);
+  check_int "min" 1 (Sim.Histogram.min_value h);
+  check_int "max" 100 (Sim.Histogram.max_value h);
+  Alcotest.(check (float 0.01)) "mean" 22.0 (Sim.Histogram.mean h);
+  check_bool "p50 below p99" true (Sim.Histogram.percentile h 50.0 <= Sim.Histogram.percentile h 99.0)
+
+let test_table_render () =
+  let t = Sim.Table.create ~title:"demo" ~columns:[ "a"; "b" ] in
+  Sim.Table.add_row t [ "1"; "2" ];
+  Sim.Table.add_row t [ "333"; "4" ];
+  let s = Sim.Table.render t in
+  check_bool "title present" true (String.length s > 0 && String.sub s 0 7 = "== demo");
+  check_bool "contains row" true (Helpers.contains ~needle:"333" s)
+
+(* Property tests *)
+
+let prop_round_up_ge =
+  qtest "round_up >= n and aligned"
+    QCheck2.Gen.(pair (int_bound 1_000_000) (int_range 0 10))
+    (fun (n, k) ->
+      let align = 1 lsl k in
+      let r = Sim.Units.round_up n ~align in
+      r >= n && Sim.Units.is_aligned r ~align && r - n < align)
+
+let prop_round_down_le =
+  qtest "round_down <= n and aligned"
+    QCheck2.Gen.(pair (int_bound 1_000_000) (int_range 0 10))
+    (fun (n, k) ->
+      let align = 1 lsl k in
+      let r = Sim.Units.round_down n ~align in
+      r <= n && Sim.Units.is_aligned r ~align && n - r < align)
+
+let prop_log2 =
+  qtest "log2_floor/ceil bracket n" QCheck2.Gen.(int_range 1 1_000_000) (fun n ->
+      let f = Sim.Units.log2_floor n and c = Sim.Units.log2_ceil n in
+      (1 lsl f) <= n && n <= (1 lsl c) && c - f <= 1)
+
+let prop_histogram_percentile_bounds =
+  qtest "percentile within [0, max]"
+    QCheck2.Gen.(list_size (int_range 1 50) (int_bound 10_000))
+    (fun samples ->
+      let h = Sim.Histogram.create () in
+      List.iter (Sim.Histogram.observe h) samples;
+      let p99 = Sim.Histogram.percentile h 99.0 in
+      p99 >= 0 && Sim.Histogram.min_value h <= Sim.Histogram.max_value h && p99 <= max 1 (2 * Sim.Histogram.max_value h))
+
+let suite =
+  [
+    Alcotest.test_case "units: basic sizes" `Quick test_units_basic;
+    Alcotest.test_case "units: pages_of_bytes" `Quick test_units_pages;
+    Alcotest.test_case "units: rounding" `Quick test_units_round;
+    Alcotest.test_case "units: log2 helpers" `Quick test_units_log2;
+    Alcotest.test_case "units: pretty printing" `Quick test_units_pp;
+    Alcotest.test_case "rng: determinism" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng: copy" `Quick test_rng_copy;
+    Alcotest.test_case "rng: bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng: zipf skew" `Quick test_rng_zipf;
+    Alcotest.test_case "rng: shuffle is a permutation" `Quick test_rng_shuffle;
+    Alcotest.test_case "clock: charge/elapsed/reset" `Quick test_clock_charge;
+    Alcotest.test_case "clock: time wrapper" `Quick test_clock_time;
+    Alcotest.test_case "cost model: conversions" `Quick test_cost_model_conversion;
+    Alcotest.test_case "stats: counters and diff" `Quick test_stats;
+    Alcotest.test_case "histogram: moments" `Quick test_histogram;
+    Alcotest.test_case "table: renders" `Quick test_table_render;
+    prop_round_up_ge;
+    prop_round_down_le;
+    prop_log2;
+    prop_histogram_percentile_bounds;
+  ]
