@@ -20,4 +20,12 @@ examples:
 clean:
 	dune clean
 
-.PHONY: all test test-verbose bench examples clean
+# Build + tests + a metrics smoke run whose JSON must parse. CI runs this.
+# (No fmt step: the repo has no .ocamlformat, so @fmt is not configured.)
+check:
+	dune build @all
+	dune runtest
+	dune exec bin/o1mem_cli.exe -- metrics --compact > metrics_smoke.json
+	python3 -m json.tool metrics_smoke.json > /dev/null && echo "metrics JSON ok"
+
+.PHONY: all test test-verbose bench examples clean check

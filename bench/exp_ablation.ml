@@ -355,7 +355,7 @@ let tab_cache () =
       let clock = Sim.Clock.create Sim.Cost_model.default in
       let stats = Sim.Stats.create () in
       let mem =
-        Physmem.Phys_mem.create ~clock ~stats ~dram_bytes:(Sim.Units.mib 64) ~nvm_bytes:0
+        Physmem.Phys_mem.create ~clock ~stats ~dram_bytes:(Sim.Units.mib 64) ~nvm_bytes:0 ()
       in
       let cache = Physmem.Cache_hier.create ~clock ~stats () in
       Physmem.Phys_mem.attach_cache mem cache;
@@ -675,7 +675,7 @@ let tab_contiguity () =
   let churn_buddy ~merge =
     let mem =
       Physmem.Phys_mem.create ~clock:(Sim.Clock.create Sim.Cost_model.default)
-        ~stats:(Sim.Stats.create ()) ~dram_bytes:(Sim.Units.mib 256) ~nvm_bytes:0
+        ~stats:(Sim.Stats.create ()) ~dram_bytes:(Sim.Units.mib 256) ~nvm_bytes:0 ()
     in
     let b = Alloc.Buddy.create ~mem ~first:0 ~count:(64 * 1024) ~merge () in
     let live = ref [] in
@@ -710,7 +710,7 @@ let tab_contiguity () =
   (* Extent allocator under the same schedule (orders -> frame counts). *)
   let mem =
     Physmem.Phys_mem.create ~clock:(Sim.Clock.create Sim.Cost_model.default)
-      ~stats:(Sim.Stats.create ()) ~dram_bytes:(Sim.Units.mib 256) ~nvm_bytes:0
+      ~stats:(Sim.Stats.create ()) ~dram_bytes:(Sim.Units.mib 256) ~nvm_bytes:0 ()
   in
   let e = Alloc.Extent_alloc.create ~mem ~first:0 ~count:(64 * 1024) ~policy:Alloc.Extent_alloc.First_fit in
   let live = ref [] in

@@ -51,7 +51,7 @@ let tab_erase () =
         let mem =
           Physmem.Phys_mem.create
             ~clock:(Sim.Clock.create Sim.Cost_model.default)
-            ~stats:(Sim.Stats.create ()) ~dram_bytes:(Sim.Units.gib 2) ~nvm_bytes:0
+            ~stats:(Sim.Stats.create ()) ~dram_bytes:(Sim.Units.gib 2) ~nvm_bytes:0 ()
         in
         let e = O1mem.Erase.create ~mem ~strategy in
         let c =
@@ -196,7 +196,7 @@ let tab_space () =
   let mem =
     Physmem.Phys_mem.create
       ~clock:(Sim.Clock.create Sim.Cost_model.default)
-      ~stats:(Sim.Stats.create ()) ~dram_bytes:(Sim.Units.mib 512) ~nvm_bytes:0
+      ~stats:(Sim.Stats.create ()) ~dram_bytes:(Sim.Units.mib 512) ~nvm_bytes:0 ()
   in
   let buddy = Alloc.Buddy.create ~mem ~first:0 ~count:(128 * 1024) () in
   let cache = Alloc.Slab.create_cache ~mem ~backing:buddy ~name:"obj" ~obj_bytes:3000 () in

@@ -1,0 +1,67 @@
+(* A small deterministic workload that exercises every traced hot path —
+   TLB lookups and shootdowns, page walks, fault handling, range-table
+   ops, file create/extend/truncate, FOM map/graft/erase — and exports the
+   machine's stats and per-operation latency distributions as JSON.
+
+   Everything here runs on the virtual clock, so the output is identical
+   across runs and hosts: the bench harness writes it to BENCH_<date>.json
+   to give the repo a perf trajectory across PRs. *)
+
+module K = Os.Kernel
+
+let run_workload () =
+  let k = Bench_env.kernel () in
+  (* Anonymous VM: demand faults on first touch, TLB hits on the second
+     pass, per-page teardown on munmap. *)
+  let p = K.create_process k () in
+  let len = Sim.Units.kib 256 in
+  let va = K.mmap_anon k p ~len ~prot:Hw.Prot.rw ~populate:false in
+  ignore (K.access_range k p ~va ~len ~write:true ~stride:Sim.Units.page_size);
+  ignore (K.access_range k p ~va ~len ~write:false ~stride:Sim.Units.page_size);
+  K.munmap k p ~va ~len;
+  (* A small mapping whose unmap stays below the full-flush threshold:
+     exercises the per-page INVLPG shootdown path. *)
+  let small = Sim.Units.kib 32 in
+  let va2 = K.mmap_anon k p ~len:small ~prot:Hw.Prot.rw ~populate:true in
+  K.munmap k p ~va:va2 ~len:small;
+  (* File metadata: create/extend/truncate/unlink a batch of files. *)
+  let fs = K.tmpfs k in
+  for i = 0 to 7 do
+    let path = Printf.sprintf "/metrics.%d" i in
+    let ino = Fs.Memfs.create_file fs path ~persistence:Fs.Inode.Volatile in
+    Fs.Memfs.extend fs ino ~bytes_wanted:(Sim.Units.kib (16 * (i + 1)));
+    Fs.Memfs.truncate fs ino ~bytes:(Sim.Units.kib 4);
+    Fs.Memfs.unlink fs path
+  done;
+  (* FOM: range translations (range-table insert/walk/remove + range-TLB
+     traffic) and shared-subtree grafts. *)
+  let fom = O1mem.Fom.create k () in
+  let p2 = K.create_process k ~range_translations:true () in
+  let r =
+    O1mem.Fom.alloc fom p2 ~strategy:O1mem.Fom.Range_translation ~len:(Sim.Units.mib 2)
+      ~prot:Hw.Prot.rw ()
+  in
+  ignore
+    (O1mem.Fom.access_range fom p2 ~va:r.O1mem.Fom.va ~len:r.O1mem.Fom.len ~write:true
+       ~stride:Sim.Units.page_size);
+  O1mem.Fom.free fom p2 r;
+  let g =
+    O1mem.Fom.alloc fom p2 ~strategy:O1mem.Fom.Shared_subtree ~len:(Sim.Units.mib 4)
+      ~prot:Hw.Prot.rw ()
+  in
+  ignore
+    (O1mem.Fom.access_range fom p2 ~va:g.O1mem.Fom.va ~len:g.O1mem.Fom.len ~write:false
+       ~stride:Sim.Units.huge_2m);
+  O1mem.Fom.free fom p2 g;
+  k
+
+let to_json ?events_limit k =
+  Sim.Json.Obj
+    [
+      ("schema", Sim.Json.String "o1mem.metrics/1");
+      ("clock_cycles", Sim.Json.Int (Sim.Clock.now (K.clock k)));
+      ("stats", Sim.Stats.to_json (K.stats k));
+      ("trace", Sim.Trace.to_json ?events_limit (K.trace k));
+    ]
+
+let run_to_json ?events_limit () = to_json ?events_limit (run_workload ())

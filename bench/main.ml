@@ -107,7 +107,29 @@ let run_bechamel () =
         (List.sort compare rows))
     merged
 
+(* ------------------------------------------------------------------ *)
+(* --json: run the deterministic metrics workload and write its JSON
+   export to BENCH_<date>.json. Only the file name depends on the host
+   (today's date); the content is purely virtual-clock-derived, so two
+   runs on any machines produce byte-identical JSON. *)
+
+let run_json () =
+  let tm = Unix.localtime (Unix.time ()) in
+  let file =
+    Printf.sprintf "BENCH_%04d-%02d-%02d.json" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+      tm.Unix.tm_mday
+  in
+  let json = Experiments.Exp_metrics.run_to_json ~events_limit:256 () in
+  let oc = open_out file in
+  output_string oc (Sim.Json.to_string ~pretty:true json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" file
+
 let () =
-  run_tables ();
-  run_bechamel ();
-  Printf.printf "\nDone.\n"
+  if Array.exists (( = ) "--json") Sys.argv then run_json ()
+  else begin
+    run_tables ();
+    run_bechamel ();
+    Printf.printf "\nDone.\n"
+  end

@@ -3,7 +3,8 @@
    o1mem_cli experiments [-o GROUP]   regenerate the paper's tables/figures
    o1mem_cli study ...                run the FS-utilization fleet model
    o1mem_cli walkrefs ...             translation reference counts
-   o1mem_cli simulate ...             one-off alloc+touch measurement *)
+   o1mem_cli simulate ...             one-off alloc+touch measurement
+   o1mem_cli metrics ...              run the traced workload, print JSON *)
 
 open Cmdliner
 
@@ -138,6 +139,26 @@ let simulate_cmd =
   let touch = Arg.(value & flag & info [ "touch" ] ~doc:"Also touch every page.") in
   Cmd.v (Cmd.info "simulate" ~doc) Term.(const simulate $ size $ strategy $ touch)
 
+(* ---------------------------- metrics ------------------------------ *)
+
+let metrics events_limit compact =
+  let json = Experiments.Exp_metrics.run_to_json ~events_limit () in
+  print_string (Sim.Json.to_string ~pretty:(not compact) json);
+  print_newline ()
+
+let metrics_cmd =
+  let doc =
+    "Run a deterministic workload over every instrumented subsystem and print the collected \
+     stats and per-operation latency histograms as JSON"
+  in
+  let events_limit =
+    Arg.(
+      value & opt int 64
+      & info [ "events" ] ~docv:"N" ~doc:"Include at most $(docv) raw trace events (newest first).")
+  in
+  let compact = Arg.(value & flag & info [ "compact" ] ~doc:"Single-line JSON output.") in
+  Cmd.v (Cmd.info "metrics" ~doc) Term.(const metrics $ events_limit $ compact)
+
 (* ----------------------------- churn ------------------------------- *)
 
 let churn backend ops max_kib seed =
@@ -235,4 +256,4 @@ let () =
   let doc = "file-only memory simulator (reproduction of 'Towards O(1) Memory', HotOS'17)" in
   let info = Cmd.info "o1mem_cli" ~version:"1.0.0" ~doc in
   exit
-    (Cmd.eval (Cmd.group info [ experiments_cmd; study_cmd; walkrefs_cmd; simulate_cmd; churn_cmd ]))
+    (Cmd.eval (Cmd.group info [ experiments_cmd; study_cmd; walkrefs_cmd; simulate_cmd; churn_cmd; metrics_cmd ]))

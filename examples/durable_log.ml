@@ -15,7 +15,7 @@ let () =
   let stats = Sim.Stats.create () in
   let mem =
     Physmem.Phys_mem.create ~clock ~stats ~dram_bytes:(Sim.Units.mib 16)
-      ~nvm_bytes:(Sim.Units.mib 16)
+      ~nvm_bytes:(Sim.Units.mib 16) ()
   in
   let nvm = Physmem.Nvm.create mem in
   let log_base = Physmem.Frame.to_addr (Physmem.Phys_mem.dram_frames mem) in

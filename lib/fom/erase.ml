@@ -9,7 +9,8 @@ let create ~mem ~strategy = { mem; strategy; zero = Physmem.Zero_engine.create m
 let engine t = t.zero
 
 let erase_extent t ~first ~count =
-  match t.strategy with
+  let start = Sim.Clock.now (Physmem.Phys_mem.clock t.mem) in
+  (match t.strategy with
   | Eager ->
     for pfn = first to first + count - 1 do
       Physmem.Zero_engine.eager_zero t.zero pfn
@@ -17,7 +18,8 @@ let erase_extent t ~first ~count =
   | Background ->
     Physmem.Zero_engine.put_dirty t.zero (List.init count (fun i -> first + i));
     Sim.Clock.charge (Physmem.Phys_mem.clock t.mem) enqueue_cycles
-  | Bulk_device -> Physmem.Zero_engine.bulk_erase t.zero ~first ~count
+  | Bulk_device -> Physmem.Zero_engine.bulk_erase t.zero ~first ~count);
+  Sim.Trace.record (Physmem.Phys_mem.trace t.mem) ~op:"erase_extent" ~start ~arg:count ()
 
 let drain_background t ~budget_frames =
   Physmem.Zero_engine.background_step t.zero ~budget_frames

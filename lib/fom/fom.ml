@@ -45,6 +45,8 @@ let create kernel ?fs ?(strategy = Shared_subtree) () =
 
 let kernel t = t.kernel
 let fs t = t.fs
+let trace t = Os.Kernel.trace t.kernel
+let now t = Sim.Clock.now (Os.Kernel.clock t.kernel)
 let shared_pt t = t.shared_pt
 let default_strategy t = t.default_strategy
 
@@ -66,7 +68,9 @@ let install_mapping t (proc : Os.Proc.t) ~ino ~prot ~strategy =
   | Shared_subtree ->
     let m = Shared_pt.master_for t.shared_pt ~fs:t.fs ~ino ~prot in
     let va = Os.Address_space.alloc_va aspace ~len ~align:(Shared_pt.window_bytes m) in
+    let start = now t in
     let windows = Shared_pt.graft t.shared_pt m ~dst:table ~dst_va:va in
+    Sim.Trace.record (trace t) ~op:"fom_graft" ~start ~arg:windows ();
     (va, len, windows, Shared_pt.window_bytes m)
   | Per_page | Huge_pages ->
     let huge = strategy = Huge_pages in
@@ -103,6 +107,7 @@ let ensure_temp_dir t =
   if Fs.Memfs.lookup t.fs temp_dir = None then Fs.Memfs.mkdir t.fs temp_dir
 
 let alloc t proc ?name ?persistence ?strategy ?(guard = false) ~len ~prot () =
+  let start = now t in
   charge_syscall t;
   if len <= 0 then invalid_arg "Fom.alloc: empty allocation";
   let strategy = match strategy with Some s -> s | None -> t.default_strategy in
@@ -129,9 +134,11 @@ let alloc t proc ?name ?persistence ?strategy ?(guard = false) ~len ~prot () =
   let region = { va; len; ino; path; temp; strategy; prot; graft_windows; graft_window_bytes } in
   register_region t proc region;
   Sim.Stats.incr (Os.Kernel.stats t.kernel) "fom_alloc";
+  Sim.Trace.record (trace t) ~op:"fom_alloc" ~start ~arg:len ();
   region
 
 let map_path t proc ?prot ?strategy path =
+  let start = now t in
   charge_syscall t;
   let strategy = match strategy with Some s -> s | None -> t.default_strategy in
   let ino =
@@ -150,6 +157,7 @@ let map_path t proc ?prot ?strategy path =
   in
   register_region t proc region;
   Sim.Stats.incr (Os.Kernel.stats t.kernel) "fom_map";
+  Sim.Trace.record (trace t) ~op:"fom_map" ~start ~arg:len ();
   region
 
 let remove_mapping t (proc : Os.Proc.t) region =
@@ -189,6 +197,7 @@ let remove_mapping t (proc : Os.Proc.t) region =
   Hw.Mmu.invalidate_range (Os.Address_space.mmu aspace) ~va:region.va ~len:region.len
 
 let unmap t (proc : Os.Proc.t) region =
+  let start = now t in
   charge_syscall t;
   (match Hashtbl.find_opt t.regions (proc.Os.Proc.pid, region.va) with
   | None -> invalid_arg "Fom.unmap: unknown region"
@@ -197,7 +206,8 @@ let unmap t (proc : Os.Proc.t) region =
   remove_mapping t proc region;
   Hashtbl.remove t.regions (proc.Os.Proc.pid, region.va);
   Fs.Memfs.close_file t.fs region.ino;
-  Sim.Stats.incr (Os.Kernel.stats t.kernel) "fom_unmap"
+  Sim.Stats.incr (Os.Kernel.stats t.kernel) "fom_unmap";
+  Sim.Trace.record (trace t) ~op:"fom_unmap" ~start ~arg:region.len ()
 
 let free t proc region =
   (* Capture before unmap: close_file may reap an already-unlinked file. *)
@@ -264,6 +274,7 @@ let protect t proc region ~prot =
   updated
 
 let grow t (proc : Os.Proc.t) region ~new_len =
+  let start = now t in
   charge_syscall t;
   if new_len <= region.len then invalid_arg "Fom.grow: new length not larger";
   (* mremap, file-only style: extend the file, then remap it whole at a
@@ -283,6 +294,7 @@ let grow t (proc : Os.Proc.t) region ~new_len =
   let updated = { region with va; len; graft_windows; graft_window_bytes } in
   register_region t proc updated;
   Sim.Stats.incr (Os.Kernel.stats t.kernel) "fom_grow";
+  Sim.Trace.record (trace t) ~op:"fom_grow" ~start ~arg:new_len ();
   updated
 
 let copy_region t proc region ?name () =

@@ -21,6 +21,7 @@ type t = {
 
 let clock t = Phys_mem.clock t.mem
 let stats t = Phys_mem.stats t.mem
+let trace t = Phys_mem.trace t.mem
 let model t = Sim.Clock.model (clock t)
 let charge t c = Sim.Clock.charge (clock t) c
 
@@ -141,6 +142,7 @@ let mkdir t path =
   Hashtbl.replace entries name ino
 
 let create_file t path ~persistence =
+  let start = Sim.Clock.now (clock t) in
   charge_lookup t;
   let dir_segs, name = Fs_path.dirname_basename path in
   if not (Fs_path.valid_name name) then invalid_arg "Memfs.create_file: bad name";
@@ -157,6 +159,7 @@ let create_file t path ~persistence =
     (Printf.sprintf "create %s %c" path
        (match persistence with Inode.Persistent -> 'P' | Inode.Volatile -> 'V'));
   Sim.Stats.incr (stats t) "fs_create";
+  Sim.Trace.record (trace t) ~op:"fs_create" ~start ();
   ino
 
 (* Returning frames: under Background_zero they enter the dirty queue so
@@ -276,6 +279,7 @@ let allocate_extents t pages =
 
 let extend t ino ~bytes_wanted =
   if bytes_wanted < 0 then invalid_arg "Memfs.extend: negative size";
+  let start = Sim.Clock.now (clock t) in
   let node = inode t ino in
   let tree = Inode.extents node in
   let pages = Sim.Units.pages_of_bytes bytes_wanted in
@@ -322,9 +326,11 @@ let extend t ino ~bytes_wanted =
       List.iter (fun (first, count) -> Extent_tree.append tree ~start:first ~count) (List.rev runs);
       journal_op t (Printf.sprintf "extend %d %d" ino pages)
   end;
-  node.Inode.size <- node.Inode.size + bytes_wanted
+  node.Inode.size <- node.Inode.size + bytes_wanted;
+  Sim.Trace.record (trace t) ~op:"fs_extend" ~start ~arg:bytes_wanted ()
 
 let truncate t ino ~bytes =
+  let start = Sim.Clock.now (clock t) in
   let node = inode t ino in
   let tree = Inode.extents node in
   if bytes < node.Inode.size then begin
@@ -336,7 +342,8 @@ let truncate t ino ~bytes =
         release_extent t ~first:e.Extent.start ~count:e.Extent.count)
       cut;
     journal_op t (Printf.sprintf "truncate %d %d" ino pages);
-    node.Inode.size <- bytes
+    node.Inode.size <- bytes;
+    Sim.Trace.record (trace t) ~op:"fs_truncate" ~start ~arg:bytes ()
   end
 
 let touch_access t node = node.Inode.last_access <- Sim.Clock.now (clock t)

@@ -3,6 +3,7 @@ type fault = Not_mapped | Protection
 type t = {
   clock : Sim.Clock.t;
   stats : Sim.Stats.t;
+  trace : Sim.Trace.t;
   table : Page_table.t;
   range_table : Range_table.t option;
   mode : Walker.mode;
@@ -10,18 +11,19 @@ type t = {
   range_tlb : Range_tlb.t option;
 }
 
-let create ~clock ~stats ~table ?range_table ?(mode = Walker.Native) ?tlb_sets ?tlb_ways
-    ?range_tlb_entries () =
+let create ~clock ~stats ?(trace = Sim.Trace.disabled) ~table ?range_table
+    ?(mode = Walker.Native) ?tlb_sets ?tlb_ways ?range_tlb_entries () =
   {
     clock;
     stats;
+    trace;
     table;
     range_table;
     mode;
-    tlb = Tlb.create ~clock ~stats ?sets:tlb_sets ?ways:tlb_ways ();
+    tlb = Tlb.create ~clock ~stats ~trace ?sets:tlb_sets ?ways:tlb_ways ();
     range_tlb =
       (match range_table with
-      | Some _ -> Some (Range_tlb.create ~clock ~stats ?entries:range_tlb_entries ())
+      | Some _ -> Some (Range_tlb.create ~clock ~stats ~trace ?entries:range_tlb_entries ())
       | None -> None);
   }
 
@@ -71,7 +73,10 @@ let translate t ~va ~write ~exec =
         if check_prot e.Range_table.prot ~write ~exec then Ok (va + e.Range_table.offset)
         else Error Protection
       | None -> (
-        match Walker.walk ~clock:t.clock ~stats:t.stats ~table:t.table ~mode:t.mode ~va with
+        match
+          Walker.walk ~trace:t.trace ~clock:t.clock ~stats:t.stats ~table:t.table ~mode:t.mode
+            ~va ()
+        with
         | None -> Error Not_mapped
         | Some (pa, leaf) ->
           if write then leaf.Page_table.dirty <- true;

@@ -11,9 +11,12 @@ type fault = Not_mapped | Protection
 type t
 
 val create :
-  clock:Sim.Clock.t -> stats:Sim.Stats.t -> table:Page_table.t ->
+  clock:Sim.Clock.t -> stats:Sim.Stats.t -> ?trace:Sim.Trace.t -> table:Page_table.t ->
   ?range_table:Range_table.t -> ?mode:Walker.mode -> ?tlb_sets:int -> ?tlb_ways:int ->
   ?range_tlb_entries:int -> unit -> t
+(** [trace] (default {!Sim.Trace.disabled}) is threaded into the TLB,
+    range TLB and walker so every lookup/walk/shootdown records a latency
+    event. *)
 
 val table : t -> Page_table.t
 val range_table : t -> Range_table.t option

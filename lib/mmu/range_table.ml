@@ -1,14 +1,22 @@
 type entry = { base : int; limit : int; offset : int; prot : Prot.t }
 
-type t = { clock : Sim.Clock.t; stats : Sim.Stats.t; entries : entry Btree.t }
+type t = {
+  clock : Sim.Clock.t;
+  stats : Sim.Stats.t;
+  trace : Sim.Trace.t;
+  entries : entry Btree.t;
+}
 
-let create ~clock ~stats () = { clock; stats; entries = Btree.create () }
+let create ~clock ~stats ?(trace = Sim.Trace.disabled) () =
+  { clock; stats; trace; entries = Btree.create () }
 
 let model t = Sim.Clock.model t.clock
 
-let charge_op t =
+let charge_op t ~op =
+  let start = Sim.Clock.now t.clock in
   Sim.Clock.charge t.clock (model t).Sim.Cost_model.range_table_op;
-  Sim.Stats.incr t.stats "range_table_op"
+  Sim.Stats.incr t.stats "range_table_op";
+  Sim.Trace.record t.trace ~op ~start ()
 
 let overlaps t ~base ~limit =
   (match Btree.find_last_leq t.entries ~key:base with
@@ -25,14 +33,14 @@ let insert t ~base ~limit ~offset ~prot =
      || not (Sim.Units.is_aligned limit ~align:Sim.Units.page_size)
   then invalid_arg "Range_table.insert: unaligned range";
   if overlaps t ~base ~limit then invalid_arg "Range_table.insert: overlapping range";
-  charge_op t;
+  charge_op t ~op:"range_table_insert";
   Btree.insert t.entries ~key:base { base; limit; offset; prot }
 
 let remove t ~base =
   match Btree.remove t.entries ~key:base with
   | None -> raise Not_found
   | Some e ->
-    charge_op t;
+    charge_op t ~op:"range_table_remove";
     e
 
 let lookup t ~va =
@@ -41,12 +49,17 @@ let lookup t ~va =
   | _ -> None
 
 let walk t ~va =
+  let start = Sim.Clock.now t.clock in
   (* A hardware refill reads one B-tree node per level. *)
   let refs = Btree.height t.entries in
   Sim.Clock.charge t.clock (refs * (model t).Sim.Cost_model.mem_ref_dram);
   Sim.Stats.add t.stats "range_walk_refs" refs;
   Sim.Stats.incr t.stats "range_walks";
-  lookup t ~va
+  let result = lookup t ~va in
+  Sim.Trace.record t.trace ~op:"range_table_walk" ~start ~arg:refs
+    ~outcome:(match result with Some _ -> "hit" | None -> "miss")
+    ();
+  result
 
 let entry_count t = Btree.cardinal t.entries
 let metadata_bytes t = 32 * Btree.cardinal t.entries

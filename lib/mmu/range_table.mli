@@ -14,7 +14,9 @@ type entry = { base : int; limit : int; offset : int; prot : Prot.t }
 
 type t
 
-val create : clock:Sim.Clock.t -> stats:Sim.Stats.t -> unit -> t
+val create : clock:Sim.Clock.t -> stats:Sim.Stats.t -> ?trace:Sim.Trace.t -> unit -> t
+(** [trace] records "range_table_insert"/"range_table_remove"/
+    "range_table_walk" events. *)
 
 val insert : t -> base:int -> limit:int -> offset:int -> prot:Prot.t -> unit
 (** O(1) table update (one ordered-map insertion); charges the

@@ -1,37 +1,44 @@
 type t = {
   clock : Sim.Clock.t;
   stats : Sim.Stats.t;
+  trace : Sim.Trace.t;
   capacity : int;
   mutable entries : Range_table.entry list; (* MRU first *)
 }
 
-let create ~clock ~stats ?(entries = 32) () =
+let create ~clock ~stats ?(trace = Sim.Trace.disabled) ?(entries = 32) () =
   if entries <= 0 then invalid_arg "Range_tlb.create: no capacity";
-  { clock; stats; capacity = entries; entries = [] }
+  { clock; stats; trace; capacity = entries; entries = [] }
 
 let capacity t = t.capacity
 
 let model t = Sim.Clock.model t.clock
 
 let lookup t ~va =
+  let start = Sim.Clock.now t.clock in
   Sim.Clock.charge t.clock (model t).Sim.Cost_model.tlb_hit;
-  match
+  let hit =
     List.find_opt
       (fun (e : Range_table.entry) -> va >= e.base && va < e.base + e.limit)
       t.entries
-  with
+  in
+  (match hit with
   | Some e ->
     t.entries <- e :: List.filter (fun x -> x != e) t.entries;
-    Sim.Stats.incr t.stats "range_tlb_hit";
-    Some e
-  | None ->
-    Sim.Stats.incr t.stats "range_tlb_miss";
-    None
+    Sim.Stats.incr t.stats "range_tlb_hit"
+  | None -> Sim.Stats.incr t.stats "range_tlb_miss");
+  Sim.Trace.record t.trace ~op:"range_tlb_lookup" ~start
+    ~outcome:(match hit with Some _ -> "hit" | None -> "miss")
+    ();
+  hit
+
+let overlaps (a : Range_table.entry) (b : Range_table.entry) =
+  a.base < b.base + b.limit && b.base < a.base + a.limit
 
 let insert t e =
-  let without =
-    List.filter (fun (x : Range_table.entry) -> x.base <> e.Range_table.base) t.entries
-  in
+  (* Evict anything overlapping the new range, not just an equal base — a
+     stale overlapping entry would otherwise keep winning lookups. *)
+  let without = List.filter (fun x -> not (overlaps x e)) t.entries in
   let trimmed =
     if List.length without >= t.capacity then List.filteri (fun i _ -> i < t.capacity - 1) without
     else without
@@ -39,9 +46,11 @@ let insert t e =
   t.entries <- e :: trimmed
 
 let invalidate t ~base =
+  let start = Sim.Clock.now t.clock in
   Sim.Clock.charge t.clock (Sim.Cost_model.shootdown_cost (model t));
   Sim.Stats.incr t.stats "range_tlb_shootdown";
-  t.entries <- List.filter (fun (e : Range_table.entry) -> e.base <> base) t.entries
+  t.entries <- List.filter (fun (e : Range_table.entry) -> e.base <> base) t.entries;
+  Sim.Trace.record t.trace ~op:"range_tlb_shootdown" ~start ~arg:1 ()
 
 let flush t =
   Sim.Clock.charge t.clock (Sim.Cost_model.shootdown_cost (model t));

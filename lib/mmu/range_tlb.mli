@@ -6,7 +6,8 @@
 
 type t
 
-val create : clock:Sim.Clock.t -> stats:Sim.Stats.t -> ?entries:int -> unit -> t
+val create :
+  clock:Sim.Clock.t -> stats:Sim.Stats.t -> ?trace:Sim.Trace.t -> ?entries:int -> unit -> t
 
 val capacity : t -> int
 
@@ -14,7 +15,9 @@ val lookup : t -> va:int -> Range_table.entry option
 (** Probe; charges the hit cost; bumps "range_tlb_hit"/"range_tlb_miss". *)
 
 val insert : t -> Range_table.entry -> unit
-(** Fill after a range-table walk; LRU eviction. *)
+(** Fill after a range-table walk; LRU eviction. Any cached entry whose
+    range overlaps the new one is evicted first, so a lookup can never
+    return a stale overlapping translation. *)
 
 val invalidate : t -> base:int -> unit
 (** Shoot down the entry with this base, if cached: the single-operation

@@ -3,16 +3,17 @@ type entry = { tag : int; size : Page_size.t; pfn : Physmem.Frame.t; prot : Prot
 type t = {
   clock : Sim.Clock.t;
   stats : Sim.Stats.t;
+  trace : Sim.Trace.t;
   sets : int;
   ways : int;
   (* sets.(s) holds up to [ways] entries, MRU first. *)
   data : entry list array;
 }
 
-let create ~clock ~stats ?(sets = 128) ?(ways = 8) () =
+let create ~clock ~stats ?(trace = Sim.Trace.disabled) ?(sets = 128) ?(ways = 8) () =
   if sets <= 0 || ways <= 0 || not (Sim.Units.is_power_of_two sets) then
     invalid_arg "Tlb.create: sets must be a positive power of two";
-  { clock; stats; sets; ways; data = Array.make sets [] }
+  { clock; stats; trace; sets; ways; data = Array.make sets [] }
 
 let capacity t = t.sets * t.ways
 
@@ -29,6 +30,7 @@ let set_of t va size =
 let sizes = [ Page_size.Small; Page_size.Huge_2m; Page_size.Huge_1g ]
 
 let lookup t ~va =
+  let start = Sim.Clock.now t.clock in
   Sim.Clock.charge t.clock (model t).Sim.Cost_model.tlb_hit;
   let found = ref None in
   List.iter
@@ -47,6 +49,9 @@ let lookup t ~va =
   (match !found with
   | Some _ -> Sim.Stats.incr t.stats "tlb_hit"
   | None -> Sim.Stats.incr t.stats "tlb_miss");
+  Sim.Trace.record t.trace ~op:"tlb_lookup" ~start
+    ~outcome:(match !found with Some _ -> "hit" | None -> "miss")
+    ();
   !found
 
 let insert t ~va ~pfn ~prot ~size =
@@ -62,6 +67,7 @@ let insert t ~va ~pfn ~prot ~size =
   t.data.(s) <- { tag; size; pfn; prot } :: trimmed
 
 let invalidate_page t ~va =
+  let start = Sim.Clock.now t.clock in
   Sim.Clock.charge t.clock (Sim.Cost_model.shootdown_cost (model t));
   Sim.Stats.incr t.stats "tlb_shootdown";
   List.iter
@@ -69,37 +75,41 @@ let invalidate_page t ~va =
       let s = set_of t va size in
       let tag = tag_of va size in
       t.data.(s) <- List.filter (fun e -> not (e.tag = tag && e.size = size)) t.data.(s))
-    sizes
+    sizes;
+  Sim.Trace.record t.trace ~op:"tlb_shootdown" ~start ~arg:1 ()
 
 let flush t =
+  let start = Sim.Clock.now t.clock in
+  let had = Array.fold_left (fun acc l -> acc + List.length l) 0 t.data in
   Sim.Clock.charge t.clock (Sim.Cost_model.shootdown_cost (model t));
   Sim.Stats.incr t.stats "tlb_flush";
-  Array.fill t.data 0 t.sets []
+  Array.fill t.data 0 t.sets [];
+  Sim.Trace.record t.trace ~op:"tlb_flush" ~start ~arg:had ()
 
 (* Beyond this many pages Linux stops issuing per-page INVLPGs and just
    flushes the whole TLB. *)
 let full_flush_threshold_pages = 33
 
 let invalidate_range t ~va ~len =
-  if len / Sim.Units.page_size >= full_flush_threshold_pages then flush t
+  let pages = Sim.Units.pages_of_bytes len in
+  if pages >= full_flush_threshold_pages then flush t
   else begin
-    Sim.Clock.charge t.clock (Sim.Cost_model.shootdown_cost (model t));
-    let dropped = ref 0 in
+    let start = Sim.Clock.now t.clock in
+    (* One INVLPG per page in the range, resident or not — same cost and
+       stat accounting as [invalidate_page], applied n times. *)
+    Sim.Clock.charge t.clock (pages * Sim.Cost_model.shootdown_cost (model t));
+    Sim.Stats.add t.stats "tlb_shootdown" pages;
     let lo = va and hi = va + len in
     Array.iteri
       (fun s entries ->
-        let keep, drop =
-          List.partition
+        t.data.(s) <-
+          List.filter
             (fun e ->
               let e_lo = e.tag and e_hi = e.tag + Page_size.bytes e.size in
               e_hi <= lo || e_lo >= hi)
-            entries
-        in
-        dropped := !dropped + List.length drop;
-        t.data.(s) <- keep)
+            entries)
       t.data;
-    Sim.Stats.add t.stats "tlb_shootdown" !dropped;
-    Sim.Clock.charge t.clock (!dropped * Sim.Cost_model.shootdown_cost (model t))
+    Sim.Trace.record t.trace ~op:"tlb_shootdown" ~start ~arg:pages ()
   end
 
 let entry_count t = Array.fold_left (fun acc l -> acc + List.length l) 0 t.data

@@ -6,7 +6,16 @@
 
 type t
 
-val create : clock:Sim.Clock.t -> stats:Sim.Stats.t -> ?sets:int -> ?ways:int -> unit -> t
+val create :
+  clock:Sim.Clock.t ->
+  stats:Sim.Stats.t ->
+  ?trace:Sim.Trace.t ->
+  ?sets:int ->
+  ?ways:int ->
+  unit ->
+  t
+(** [trace] (default {!Sim.Trace.disabled}) records lookup, shootdown and
+    flush events. *)
 
 val capacity : t -> int
 
@@ -23,9 +32,11 @@ val invalidate_page : t -> va:int -> unit
     shootdown cost and bumps "tlb_shootdown". *)
 
 val invalidate_range : t -> va:int -> len:int -> unit
-(** Shoot down every entry overlapping the range: one charge per entry
-    dropped for small ranges; beyond ~32 pages the whole TLB is flushed
-    instead (one charge), as Linux does. *)
+(** Shoot down every entry overlapping the range. For a range of n pages
+    below the full-flush threshold this issues n per-page INVLPGs — n
+    shootdown charges and "tlb_shootdown" += n, whether or not the pages
+    are resident; at 33+ pages the whole TLB is flushed instead (one
+    charge), as Linux does. *)
 
 val flush : t -> unit
 (** Full flush (e.g. context switch without ASIDs); charges one

@@ -12,7 +12,8 @@ let refs_for_walk ~guest_levels ~leaf_depth ~mode =
        g*(h+1) + h = (g+1)*(h+1) - 1. *)
     ((g + 1) * (h + 1)) - 1
 
-let walk ~clock ~stats ~table ~mode ~va =
+let walk ?(trace = Sim.Trace.disabled) ~clock ~stats ~table ~mode ~va () =
+  let start = Sim.Clock.now clock in
   let leaf_depth =
     match Page_table.leaf_depth table ~va with
     | Some d -> d
@@ -28,8 +29,14 @@ let walk ~clock ~stats ~table ~mode ~va =
     (model.Sim.Cost_model.mem_ref_dram + ((refs - 1) * model.Sim.Cost_model.cache_ref));
   Sim.Stats.add stats "walk_refs" refs;
   Sim.Stats.incr stats "page_walks";
-  match Page_table.lookup table ~va with
-  | None -> None
-  | Some (pa, leaf) ->
-    leaf.Page_table.accessed <- true;
-    Some (pa, leaf)
+  let result =
+    match Page_table.lookup table ~va with
+    | None -> None
+    | Some (pa, leaf) ->
+      leaf.Page_table.accessed <- true;
+      Some (pa, leaf)
+  in
+  Sim.Trace.record trace ~op:"page_walk" ~start ~arg:refs
+    ~outcome:(match result with Some _ -> "ok" | None -> "hole")
+    ();
+  result

@@ -15,10 +15,17 @@ val refs_for_walk : guest_levels:int -> leaf_depth:int -> mode:mode -> int
     native references). *)
 
 val walk :
-  clock:Sim.Clock.t -> stats:Sim.Stats.t -> table:Page_table.t -> mode:mode -> va:int ->
+  ?trace:Sim.Trace.t ->
+  clock:Sim.Clock.t ->
+  stats:Sim.Stats.t ->
+  table:Page_table.t ->
+  mode:mode ->
+  va:int ->
+  unit ->
   (int * Page_table.leaf) option
 (** Resolve [va]. Charges one full DRAM reference for the leaf PTE and a
     cache-hit cost for each upper-level access (modelling page-walk
     caches); bumps "walk_refs" by the raw reference count. Sets the
     leaf's accessed bit. [None] for an unmapped address (the walk cost is
-    still charged — the hardware walked to find the hole). *)
+    still charged — the hardware walked to find the hole). [trace]
+    records a "page_walk" event with the reference count as [arg]. *)

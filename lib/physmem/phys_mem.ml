@@ -8,13 +8,14 @@ type frame_store = { data : Bytes.t; mutable nonzero : int }
 type t = {
   clock : Sim.Clock.t;
   stats : Sim.Stats.t;
+  trace : Sim.Trace.t;
   dram_frames : int;
   nvm_frames : int;
   contents : (int, frame_store) Hashtbl.t;
   mutable cache : Cache_hier.t option;
 }
 
-let create ~clock ~stats ~dram_bytes ~nvm_bytes =
+let create ~clock ~stats ?(trace = Sim.Trace.disabled) ~dram_bytes ~nvm_bytes () =
   if not (Sim.Units.is_aligned dram_bytes ~align:Sim.Units.page_size) then
     invalid_arg "Phys_mem.create: dram_bytes not page-aligned";
   if not (Sim.Units.is_aligned nvm_bytes ~align:Sim.Units.page_size) then
@@ -23,6 +24,7 @@ let create ~clock ~stats ~dram_bytes ~nvm_bytes =
   {
     clock;
     stats;
+    trace;
     dram_frames = dram_bytes / Sim.Units.page_size;
     nvm_frames = nvm_bytes / Sim.Units.page_size;
     contents = Hashtbl.create 1024;
@@ -31,6 +33,7 @@ let create ~clock ~stats ~dram_bytes ~nvm_bytes =
 
 let clock t = t.clock
 let stats t = t.stats
+let trace t = t.trace
 let attach_cache t c = t.cache <- Some c
 let detach_cache t = t.cache <- None
 let total_frames t = t.dram_frames + t.nvm_frames

@@ -14,11 +14,23 @@ type t
 
 type region = Dram | Nvm
 
-val create : clock:Sim.Clock.t -> stats:Sim.Stats.t -> dram_bytes:int -> nvm_bytes:int -> t
-(** Both sizes must be page-aligned and >= 0; total must be > 0. *)
+val create :
+  clock:Sim.Clock.t ->
+  stats:Sim.Stats.t ->
+  ?trace:Sim.Trace.t ->
+  dram_bytes:int ->
+  nvm_bytes:int ->
+  unit ->
+  t
+(** Both sizes must be page-aligned and >= 0; total must be > 0. [trace]
+    (default {!Sim.Trace.disabled}) is carried for components built on
+    top of this memory (file system, fault handler) to record into. *)
 
 val clock : t -> Sim.Clock.t
 val stats : t -> Sim.Stats.t
+
+val trace : t -> Sim.Trace.t
+(** The trace passed at creation; {!Sim.Trace.disabled} if none was. *)
 
 val attach_cache : t -> Cache_hier.t -> unit
 (** Route demand (single-line) accesses through a cache hierarchy: hits

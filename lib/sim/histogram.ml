@@ -39,7 +39,22 @@ let percentile t p =
         let seen = seen + t.buckets.(b) in
         if seen >= rank then if b = 0 then 0 else 1 lsl b else loop (b + 1) seen
     in
-    loop 0 0
+    (* The bucket upper bound is exclusive, so clamp into the range of values
+       actually observed — otherwise p100 can overshoot max_v by up to 2x. *)
+    min (max (loop 0 0) (min_value t)) (max_value t)
+
+let to_json t =
+  Json.Obj
+    [
+      ("count", Json.Int t.count);
+      ("total", Json.Int t.total);
+      ("mean", Json.Float (mean t));
+      ("min", Json.Int (min_value t));
+      ("max", Json.Int (max_value t));
+      ("p50", Json.Int (percentile t 50.0));
+      ("p90", Json.Int (percentile t 90.0));
+      ("p99", Json.Int (percentile t 99.0));
+    ]
 
 let pp ppf t =
   Format.fprintf ppf "n=%d mean=%.1f min=%d p50=%d p99=%d max=%d" t.count (mean t) (min_value t)

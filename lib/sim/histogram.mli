@@ -24,6 +24,11 @@ val max_value : t -> int
 
 val percentile : t -> float -> int
 (** [percentile t p] with [p] in [0, 100]: an upper bound on the value at
-    that rank, exact to the bucket boundary (buckets are powers of two). *)
+    that rank, exact to the bucket boundary (buckets are powers of two),
+    clamped to [[min_value t, max_value t]] so it never exceeds any
+    observed sample. Monotone in [p]. *)
+
+val to_json : t -> Json.t
+(** Summary object: count/total/mean/min/max/p50/p90/p99. *)
 
 val pp : Format.formatter -> t -> unit

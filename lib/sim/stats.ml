@@ -30,6 +30,8 @@ let diff ~before ~after =
   Hashtbl.fold (fun k v acc -> if v = 0 then acc else (k, v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+let to_json t = Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (snapshot t))
+
 let pp ppf t =
   let entries = snapshot t in
   Format.fprintf ppf "@[<v>";

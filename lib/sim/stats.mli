@@ -25,4 +25,7 @@ val snapshot : t -> (string * int) list
 val diff : before:(string * int) list -> after:(string * int) list -> (string * int) list
 (** Per-counter difference [after - before], dropping zero entries. *)
 
+val to_json : t -> Json.t
+(** All counters as one JSON object, keys sorted by name. *)
+
 val pp : Format.formatter -> t -> unit

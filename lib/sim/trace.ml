@@ -1,0 +1,119 @@
+(* Structured tracing: a bounded ring of events plus per-operation latency
+   histograms, all in virtual cycles. The [disabled] sentinel lets components
+   default a [trace] field to a shared no-op without optional plumbing. *)
+
+type event = { op : string; start : int; finish : int; arg : int; outcome : string }
+
+type t = {
+  clock : Clock.t option; (* None = disabled sentinel *)
+  ring : event option array;
+  mutable recorded : int; (* total events ever recorded, ring or not *)
+  latencies : (string, Histogram.t) Hashtbl.t;
+}
+
+let default_capacity = 4096
+
+let create ~clock ?(capacity = default_capacity) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  {
+    clock = Some clock;
+    ring = Array.make capacity None;
+    recorded = 0;
+    latencies = Hashtbl.create 32;
+  }
+
+let disabled = { clock = None; ring = [||]; recorded = 0; latencies = Hashtbl.create 1 }
+
+let enabled t = t.clock <> None
+let capacity t = Array.length t.ring
+let recorded t = t.recorded
+let dropped t = max 0 (t.recorded - Array.length t.ring)
+
+let latency_for t op =
+  match Hashtbl.find_opt t.latencies op with
+  | Some h -> h
+  | None ->
+    let h = Histogram.create () in
+    Hashtbl.add t.latencies op h;
+    h
+
+let record t ~op ~start ?(arg = 0) ?(outcome = "ok") () =
+  match t.clock with
+  | None -> ()
+  | Some clock ->
+    let finish = Clock.now clock in
+    t.ring.(t.recorded mod Array.length t.ring) <- Some { op; start; finish; arg; outcome };
+    t.recorded <- t.recorded + 1;
+    Histogram.observe (latency_for t op) (max 0 (finish - start))
+
+let span t ~op ?(arg = 0) ?outcome f =
+  match t.clock with
+  | None -> f ()
+  | Some clock -> (
+    let start = Clock.now clock in
+    match f () with
+    | v ->
+      let outcome = match outcome with Some g -> g v | None -> "ok" in
+      record t ~op ~start ~arg ~outcome ();
+      v
+    | exception e ->
+      record t ~op ~start ~arg ~outcome:"raised" ();
+      raise e)
+
+let events t =
+  let cap = Array.length t.ring in
+  if cap = 0 || t.recorded = 0 then []
+  else begin
+    let kept = min t.recorded cap in
+    let first = t.recorded - kept in
+    (* oldest retained event first *)
+    List.init kept (fun i ->
+        match t.ring.((first + i) mod cap) with
+        | Some e -> e
+        | None -> assert false)
+  end
+
+let latency t op = Hashtbl.find_opt t.latencies op
+
+let ops t =
+  Hashtbl.fold (fun k h acc -> (k, h) :: acc) t.latencies []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset t =
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.recorded <- 0;
+  Hashtbl.reset t.latencies
+
+let event_to_json e =
+  Json.Obj
+    [
+      ("op", Json.String e.op);
+      ("start", Json.Int e.start);
+      ("end", Json.Int e.finish);
+      ("arg", Json.Int e.arg);
+      ("outcome", Json.String e.outcome);
+    ]
+
+let to_json ?(events_limit = max_int) t =
+  let evs = events t in
+  let total = List.length evs in
+  let evs =
+    if total <= events_limit then evs
+    else (* keep the newest [events_limit] events *)
+      List.filteri (fun i _ -> i >= total - events_limit) evs
+  in
+  Json.Obj
+    [
+      ("enabled", Json.Bool (enabled t));
+      ("capacity", Json.Int (capacity t));
+      ("recorded", Json.Int t.recorded);
+      ("dropped", Json.Int (dropped t));
+      ("ops", Json.Obj (List.map (fun (k, h) -> (k, Histogram.to_json h)) (ops t)));
+      ("events", Json.List (List.map event_to_json evs));
+    ]
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>trace: %d recorded, %d dropped (capacity %d)@," t.recorded (dropped t)
+    (capacity t);
+  List.iter (fun (op, h) -> Format.fprintf ppf "%-24s %a@," op Histogram.pp h) (ops t);
+  Format.fprintf ppf "@]"

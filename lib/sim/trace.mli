@@ -1,0 +1,65 @@
+(** Structured tracing over the virtual clock.
+
+    A [Trace.t] holds a bounded ring buffer of events (operation name, start
+    and end cycle, operand size, outcome string) and a per-operation latency
+    {!Histogram.t}, so experiments can report p50/p99/max latency per
+    operation rather than flat counts.
+
+    Components store a trace field defaulting to {!disabled}, a shared no-op
+    sentinel: recording into it does nothing, and {!span} just runs its
+    function. Costs charged to the clock never depend on whether tracing is
+    enabled. *)
+
+type event = {
+  op : string;  (** operation name, e.g. "tlb_lookup" *)
+  start : int;  (** virtual cycle when the op began *)
+  finish : int;  (** virtual cycle when the op ended *)
+  arg : int;  (** operand size (bytes, pages, refs...); 0 if n/a *)
+  outcome : string;  (** "ok", "hit", "miss", "minor", "raised", ... *)
+}
+
+type t
+
+val create : clock:Clock.t -> ?capacity:int -> unit -> t
+(** A live trace reading timestamps from [clock]. [capacity] (default 4096)
+    bounds the event ring; older events are dropped, histograms keep every
+    sample. Raises [Invalid_argument] if [capacity <= 0]. *)
+
+val disabled : t
+(** Shared no-op sentinel: never records, safe to use from any component. *)
+
+val enabled : t -> bool
+val capacity : t -> int
+
+val recorded : t -> int
+(** Total events ever recorded, including ones the ring has since dropped. *)
+
+val dropped : t -> int
+(** Events evicted from the ring by wraparound. *)
+
+val record : t -> op:string -> start:int -> ?arg:int -> ?outcome:string -> unit -> unit
+(** Record one event ending now; latency [now - start] feeds the per-op
+    histogram. No-op on {!disabled}. *)
+
+val span : t -> op:string -> ?arg:int -> ?outcome:('a -> string) -> (unit -> 'a) -> 'a
+(** [span t ~op f] runs [f], charging the clock with whatever [f] itself
+    charges, and records one event covering it. [outcome] maps the result to
+    an outcome string (default "ok"); an exception records outcome "raised"
+    and re-raises. On {!disabled} it just runs [f]. *)
+
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val latency : t -> string -> Histogram.t option
+(** Latency histogram for one operation, if it ever recorded. *)
+
+val ops : t -> (string * Histogram.t) list
+(** All per-operation histograms, sorted by operation name. *)
+
+val reset : t -> unit
+
+val to_json : ?events_limit:int -> t -> Json.t
+(** Export: capacity/recorded/dropped, per-op histogram summaries, and the
+    retained events (newest [events_limit] of them, default all retained). *)
+
+val pp : Format.formatter -> t -> unit

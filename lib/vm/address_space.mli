@@ -3,7 +3,7 @@
 type t
 
 val create :
-  clock:Sim.Clock.t -> stats:Sim.Stats.t -> levels:int ->
+  clock:Sim.Clock.t -> stats:Sim.Stats.t -> ?trace:Sim.Trace.t -> levels:int ->
   alloc_pt_frame:(unit -> Physmem.Frame.t) -> ?range_table:Hw.Range_table.t ->
   ?mode:Hw.Walker.mode -> ?tlb_sets:int -> ?tlb_ways:int -> ?range_tlb_entries:int ->
   ?mmap_base:int -> unit -> t

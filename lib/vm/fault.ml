@@ -95,7 +95,7 @@ let cow ctx aspace ~va ~(old_leaf : Hw.Page_table.leaf) ~prot ~anon_backing =
   install ctx aspace ~va:page_va ~pfn ~prot;
   Sim.Stats.incr (stats ctx) "cow_fault"
 
-let handle ctx ~aspace ~pid ~va ~write =
+let handle_inner ctx ~aspace ~pid ~va ~write =
   Sim.Clock.charge (clock ctx) (model ctx).Sim.Cost_model.fault_trap;
   Sim.Stats.incr (stats ctx) "page_fault";
   match Address_space.find_vma aspace ~va with
@@ -141,3 +141,16 @@ let handle ctx ~aspace ~pid ~va ~write =
         populate_file_page ctx ~aspace ~vma ~va;
         Sim.Stats.incr (stats ctx) "minor_fault";
         Minor))
+
+let handle ctx ~aspace ~pid ~va ~write =
+  let trace = Physmem.Phys_mem.trace ctx.mem in
+  let start = Sim.Clock.now (clock ctx) in
+  match handle_inner ctx ~aspace ~pid ~va ~write with
+  | kind ->
+    Sim.Trace.record trace ~op:"fault_handle" ~start
+      ~outcome:(match kind with Minor -> "minor" | Major -> "major")
+      ();
+    kind
+  | exception Segfault va ->
+    Sim.Trace.record trace ~op:"fault_handle" ~start ~outcome:"segfault" ();
+    raise (Segfault va)

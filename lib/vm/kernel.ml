@@ -14,6 +14,7 @@ type config = {
   swap_backing : [ `Device | `Pmfs ];
   aslr : bool;
   cost_model : Sim.Cost_model.t;
+  trace_capacity : int;
 }
 
 let default_config =
@@ -30,12 +31,14 @@ let default_config =
     swap_backing = `Device;
     aslr = false;
     cost_model = Sim.Cost_model.default;
+    trace_capacity = 4096;
   }
 
 type t = {
   config : config;
   clock : Sim.Clock.t;
   stats : Sim.Stats.t;
+  trace : Sim.Trace.t;
   mem : Phys_mem.t;
   meta : Page_meta.t;
   buddy : Alloc.Buddy.t;
@@ -55,8 +58,10 @@ let buddy_max_order = 10
 let create ?(config = default_config) () =
   let clock = Sim.Clock.create config.cost_model in
   let stats = Sim.Stats.create () in
+  let trace = Sim.Trace.create ~clock ~capacity:config.trace_capacity () in
   let mem =
-    Phys_mem.create ~clock ~stats ~dram_bytes:config.dram_bytes ~nvm_bytes:config.nvm_bytes
+    Phys_mem.create ~clock ~stats ~trace ~dram_bytes:config.dram_bytes
+      ~nvm_bytes:config.nvm_bytes ()
   in
   let dram_frames = Phys_mem.dram_frames mem in
   (* DRAM layout: the low half is the buddy-managed anonymous pool
@@ -99,6 +104,7 @@ let create ?(config = default_config) () =
     config;
     clock;
     stats;
+    trace;
     mem;
     meta;
     buddy;
@@ -116,6 +122,7 @@ let create ?(config = default_config) () =
 let config t = t.config
 let clock t = t.clock
 let stats t = t.stats
+let trace t = t.trace
 let mem t = t.mem
 let page_meta t = t.meta
 let buddy t = t.buddy
@@ -153,7 +160,8 @@ let create_process t ?(range_translations = false) () =
   let pid = t.next_pid in
   t.next_pid <- pid + 1;
   let range_table =
-    if range_translations then Some (Hw.Range_table.create ~clock:t.clock ~stats:t.stats ())
+    if range_translations then
+      Some (Hw.Range_table.create ~clock:t.clock ~stats:t.stats ~trace:t.trace ())
     else None
   in
   let mmap_base =
@@ -163,7 +171,7 @@ let create_process t ?(range_translations = false) () =
     else None
   in
   let aspace =
-    Address_space.create ~clock:t.clock ~stats:t.stats ~levels:t.config.levels
+    Address_space.create ~clock:t.clock ~stats:t.stats ~trace:t.trace ~levels:t.config.levels
       ~alloc_pt_frame:(alloc_pt_frame t) ?range_table ~mode:t.config.walk_mode
       ~tlb_sets:t.config.tlb_sets ~tlb_ways:t.config.tlb_ways
       ~range_tlb_entries:t.config.range_tlb_entries ?mmap_base ()

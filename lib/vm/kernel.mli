@@ -20,6 +20,7 @@ type config = {
   swap_backing : [ `Device | `Pmfs ];  (** where swapped pages go: NVMe-class device, or a swapfile in PMFS *)
   aslr : bool;  (** randomize each process's mmap base (2 MiB granularity). Note PBM regions are exempt by construction — the security trade of VA = PA + offset. *)
   cost_model : Sim.Cost_model.t;
+  trace_capacity : int;  (** event-ring capacity of the kernel-wide {!Sim.Trace.t} *)
 }
 
 val default_config : config
@@ -35,6 +36,11 @@ val create : ?config:config -> unit -> t
 val config : t -> config
 val clock : t -> Sim.Clock.t
 val stats : t -> Sim.Stats.t
+
+val trace : t -> Sim.Trace.t
+(** The machine-wide trace: every component (TLBs, walker, range tables,
+    fault handler, file systems, FOM) records latency events into it. *)
+
 val mem : t -> Physmem.Phys_mem.t
 val page_meta : t -> Page_meta.t
 val buddy : t -> Alloc.Buddy.t

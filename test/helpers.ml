@@ -9,7 +9,7 @@ let mk_env () =
 
 let mk_mem ?(dram = Sim.Units.mib 64) ?(nvm = Sim.Units.mib 64) () =
   let clock, stats = mk_env () in
-  Physmem.Phys_mem.create ~clock ~stats ~dram_bytes:dram ~nvm_bytes:nvm
+  Physmem.Phys_mem.create ~clock ~stats ~dram_bytes:dram ~nvm_bytes:nvm ()
 
 let small_config =
   {

@@ -181,7 +181,7 @@ let test_walk_charges_and_access_bit () =
   let pt, clock, stats = mk_page_table () in
   PT.map_page pt ~va:0x1000 ~pfn:3 ~prot:Hw.Prot.rw ~size:Hw.Page_size.Small;
   let before = Sim.Clock.now clock in
-  (match Hw.Walker.walk ~clock ~stats ~table:pt ~mode:Hw.Walker.Native ~va:0x1000 with
+  (match Hw.Walker.walk ~clock ~stats ~table:pt ~mode:Hw.Walker.Native ~va:0x1000 () with
   | Some (pa, leaf) ->
     check_int "pa" (3 * 4096) pa;
     check_bool "accessed set" true leaf.PT.accessed
@@ -243,6 +243,36 @@ let test_tlb_invalidate () =
   Hw.Tlb.flush tlb;
   check_int "flush empties" 0 (Hw.Tlb.entry_count tlb)
 
+let test_tlb_invalidate_range_accounting () =
+  let tlb, clock, stats = mk_tlb () in
+  let per_page = Sim.Cost_model.shootdown_cost Sim.Cost_model.default in
+  (* 2 resident pages inside an 8-page range: one INVLPG per page in the
+     range, resident or not — never one up-front plus one per eviction. *)
+  Hw.Tlb.insert tlb ~va:0x1000 ~pfn:1 ~prot:Hw.Prot.rw ~size:Hw.Page_size.Small;
+  Hw.Tlb.insert tlb ~va:0x3000 ~pfn:3 ~prot:Hw.Prot.rw ~size:Hw.Page_size.Small;
+  let t0 = Sim.Clock.now clock and s0 = Sim.Stats.get stats "tlb_shootdown" in
+  Hw.Tlb.invalidate_range tlb ~va:0 ~len:(8 * Sim.Units.page_size);
+  check_int "8-page range charges 8 INVLPGs" (8 * per_page) (Sim.Clock.now clock - t0);
+  check_int "counter counts INVLPGs, not evictions" 8 (Sim.Stats.get stats "tlb_shootdown" - s0);
+  check_int "resident entries dropped" 0 (Hw.Tlb.entry_count tlb);
+  (* A fully non-resident range must charge and count the same way. *)
+  let t1 = Sim.Clock.now clock and s1 = Sim.Stats.get stats "tlb_shootdown" in
+  Hw.Tlb.invalidate_range tlb ~va:(Sim.Units.mib 1) ~len:(4 * Sim.Units.page_size);
+  check_int "non-resident range still charges per page" (4 * per_page) (Sim.Clock.now clock - t1);
+  check_int "non-resident range still counts per page" 4 (Sim.Stats.get stats "tlb_shootdown" - s1)
+
+let test_tlb_invalidate_range_full_flush () =
+  let tlb, clock, stats = mk_tlb () in
+  Hw.Tlb.insert tlb ~va:0x1000 ~pfn:1 ~prot:Hw.Prot.rw ~size:Hw.Page_size.Small;
+  let t0 = Sim.Clock.now clock in
+  Hw.Tlb.invalidate_range tlb ~va:0 ~len:(33 * Sim.Units.page_size);
+  check_int "33+ pages cost one full flush, not 33 INVLPGs"
+    (Sim.Cost_model.shootdown_cost Sim.Cost_model.default)
+    (Sim.Clock.now clock - t0);
+  check_int "flush counted" 1 (Sim.Stats.get stats "tlb_flush");
+  check_int "no per-page shootdowns counted" 0 (Sim.Stats.get stats "tlb_shootdown");
+  check_int "emptied" 0 (Hw.Tlb.entry_count tlb)
+
 (* Range table and range TLB *)
 
 let mk_rt () =
@@ -288,6 +318,23 @@ let test_range_tlb_lru_and_shootdown () =
   Hw.Range_tlb.invalidate rtlb ~base:0;
   check_bool "shootdown" true (Hw.Range_tlb.lookup rtlb ~va:0 = None);
   check_int "misses counted" 2 (Sim.Stats.get stats "range_tlb_miss")
+
+let test_range_tlb_insert_overlap_evicts () =
+  let clock, stats = mk_env () in
+  let rtlb = Hw.Range_tlb.create ~clock ~stats ~entries:4 () in
+  let e ~base ~limit ~offset = { Hw.Range_table.base; limit; offset; prot = Hw.Prot.rw } in
+  Hw.Range_tlb.insert rtlb (e ~base:0 ~limit:(Sim.Units.kib 8) ~offset:0);
+  (* Overlaps the first entry's tail under a different base: the stale entry
+     must be evicted or a lookup in the overlap could return either. *)
+  Hw.Range_tlb.insert rtlb (e ~base:Sim.Units.page_size ~limit:(Sim.Units.kib 8) ~offset:100);
+  check_int "overlapping entry evicted" 1 (Hw.Range_tlb.entry_count rtlb);
+  (match Hw.Range_tlb.lookup rtlb ~va:Sim.Units.page_size with
+  | Some hit -> check_int "fresh entry wins in the overlap" 100 hit.Hw.Range_table.offset
+  | None -> Alcotest.fail "expected range TLB hit");
+  check_bool "va only the stale entry covered now misses" true
+    (Hw.Range_tlb.lookup rtlb ~va:0 = None);
+  Hw.Range_tlb.insert rtlb (e ~base:(Sim.Units.mib 1) ~limit:Sim.Units.page_size ~offset:7);
+  check_int "disjoint entries coexist" 2 (Hw.Range_tlb.entry_count rtlb)
 
 (* PTE bit-level encoding *)
 
@@ -593,6 +640,10 @@ let suite =
     Alcotest.test_case "tlb: LRU eviction" `Quick test_tlb_lru_eviction;
     Alcotest.test_case "tlb: huge-page entries" `Quick test_tlb_huge_entry;
     Alcotest.test_case "tlb: invalidate/flush" `Quick test_tlb_invalidate;
+    Alcotest.test_case "tlb: invalidate_range charges per page" `Quick
+      test_tlb_invalidate_range_accounting;
+    Alcotest.test_case "tlb: invalidate_range full-flush path" `Quick
+      test_tlb_invalidate_range_full_flush;
     Alcotest.test_case "pte: bit-level encoding" `Quick test_pte_roundtrip;
     prop_pte_leaf_roundtrip;
     Alcotest.test_case "btree: basics" `Quick test_btree_basics;
@@ -603,6 +654,8 @@ let suite =
     Alcotest.test_case "range table: overlap rejected" `Quick test_range_table_overlap_rejected;
     Alcotest.test_case "range table: remove" `Quick test_range_table_remove;
     Alcotest.test_case "range tlb: LRU + shootdown" `Quick test_range_tlb_lru_and_shootdown;
+    Alcotest.test_case "range tlb: insert evicts overlaps" `Quick
+      test_range_tlb_insert_overlap_evicts;
     Alcotest.test_case "mmu: translate via page table + TLB fill" `Quick test_mmu_translate_via_pt;
     Alcotest.test_case "mmu: faults" `Quick test_mmu_protection_fault;
     Alcotest.test_case "mmu: dirty bit on write" `Quick test_mmu_dirty_bit_on_write;

@@ -11,9 +11,9 @@ let test_frame_arith () =
 let test_create_validation () =
   let clock, stats = mk_env () in
   Alcotest.check_raises "unaligned dram" (Invalid_argument "Phys_mem.create: dram_bytes not page-aligned")
-    (fun () -> ignore (PM.create ~clock ~stats ~dram_bytes:4097 ~nvm_bytes:0));
+    (fun () -> ignore (PM.create ~clock ~stats ~dram_bytes:4097 ~nvm_bytes:0 ()));
   Alcotest.check_raises "empty" (Invalid_argument "Phys_mem.create: empty machine") (fun () ->
-      ignore (PM.create ~clock ~stats ~dram_bytes:0 ~nvm_bytes:0))
+      ignore (PM.create ~clock ~stats ~dram_bytes:0 ~nvm_bytes:0 ()))
 
 let test_regions () =
   let mem = mk_mem ~dram:(Sim.Units.mib 4) ~nvm:(Sim.Units.mib 4) () in

@@ -158,13 +158,38 @@ let prop_log2 =
       (1 lsl f) <= n && n <= (1 lsl c) && c - f <= 1)
 
 let prop_histogram_percentile_bounds =
-  qtest "percentile within [0, max]"
-    QCheck2.Gen.(list_size (int_range 1 50) (int_bound 10_000))
-    (fun samples ->
+  qtest "percentile bounded by min/max"
+    QCheck2.Gen.(pair (list_size (int_range 1 50) (int_bound 10_000)) (float_bound_inclusive 100.0))
+    (fun (samples, p) ->
       let h = Sim.Histogram.create () in
       List.iter (Sim.Histogram.observe h) samples;
-      let p99 = Sim.Histogram.percentile h 99.0 in
-      p99 >= 0 && Sim.Histogram.min_value h <= Sim.Histogram.max_value h && p99 <= max 1 (2 * Sim.Histogram.max_value h))
+      let v = Sim.Histogram.percentile h p in
+      Sim.Histogram.min_value h <= v && v <= Sim.Histogram.max_value h)
+
+let prop_histogram_percentile_monotone =
+  qtest "percentile monotone in p"
+    QCheck2.Gen.(
+      triple
+        (list_size (int_range 1 50) (int_bound 10_000))
+        (float_bound_inclusive 100.0) (float_bound_inclusive 100.0))
+    (fun (samples, p1, p2) ->
+      let h = Sim.Histogram.create () in
+      List.iter (Sim.Histogram.observe h) samples;
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Sim.Histogram.percentile h lo <= Sim.Histogram.percentile h hi)
+
+let test_histogram_percentile_clamped () =
+  (* Regression: a single sample of 100 lands in bucket [64, 128); the raw
+     bucket bound is 128, but every percentile must report a value that was
+     actually possible, i.e. within [min, max]. *)
+  let h = Sim.Histogram.create () in
+  Sim.Histogram.observe h 100;
+  check_int "p50 of a singleton" 100 (Sim.Histogram.percentile h 50.0);
+  check_int "p100 does not overshoot max" 100 (Sim.Histogram.percentile h 100.0);
+  Sim.Histogram.observe h 3;
+  let p0 = Sim.Histogram.percentile h 0.0 in
+  check_bool "p0 stays within [min, max]" true (p0 >= 3 && p0 <= 100);
+  check_int "empty histogram percentile" 0 (Sim.Histogram.percentile (Sim.Histogram.create ()) 99.0)
 
 let suite =
   [
@@ -183,9 +208,12 @@ let suite =
     Alcotest.test_case "cost model: conversions" `Quick test_cost_model_conversion;
     Alcotest.test_case "stats: counters and diff" `Quick test_stats;
     Alcotest.test_case "histogram: moments" `Quick test_histogram;
+    Alcotest.test_case "histogram: percentile clamped to observed range" `Quick
+      test_histogram_percentile_clamped;
     Alcotest.test_case "table: renders" `Quick test_table_render;
     prop_round_up_ge;
     prop_round_down_le;
     prop_log2;
     prop_histogram_percentile_bounds;
+    prop_histogram_percentile_monotone;
   ]
