@@ -28,4 +28,12 @@ check:
 	dune exec bin/o1mem_cli.exe -- metrics --compact > metrics_smoke.json
 	python3 -m json.tool metrics_smoke.json > /dev/null && echo "metrics JSON ok"
 
-.PHONY: all test test-verbose bench examples clean check
+# Regression gate: regenerate the bench JSON and diff it against the most
+# recent committed BENCH_*.json baseline. Fails on >10% metric drift or
+# any complexity-class downgrade. CI runs this after `make check`.
+bench-diff:
+	dune exec bench/main.exe -- --json --out fresh_bench.json
+	dune exec bin/o1mem_cli.exe -- bench-diff \
+	  $$(ls BENCH_*.json | sort | tail -1) fresh_bench.json --threshold 10
+
+.PHONY: all test test-verbose bench examples clean check bench-diff

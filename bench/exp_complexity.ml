@@ -1,0 +1,376 @@
+(* C1 — the scaling-law profiler: run each memory-management operation at
+   geometrically increasing operand sizes on the virtual clock, fit a
+   log-log least-squares slope (Sim.Complexity), and classify it O(1) /
+   O(log n) / O(n). The paper's thesis — every FOM operation is constant
+   in operand size while the per-page baseline is linear — becomes a
+   machine-checked table: the classes are exported into the bench JSON and
+   `o1mem_cli bench-diff` fails on any class downgrade.
+
+   Every data point runs on a fresh machine so measurements never
+   contaminate each other; everything is virtual-clock time, so the fits
+   are bit-identical across runs and hosts. *)
+
+module K = Os.Kernel
+module F = O1mem.Fom
+module C = Sim.Complexity
+open Bench_env
+
+type sweep = {
+  name : string;
+  expected : C.cls;
+  unit_ : string;  (* "bytes", "entries", "files" *)
+  note : string;
+  sizes : int list;
+  measure : int -> int;  (* operand -> virtual cycles *)
+}
+
+type result = { sweep : sweep; points : (int * int) list; fit : C.fit }
+
+let geometric ~base ~factor ~count =
+  List.init count (fun i ->
+      let rec pow acc k = if k = 0 then acc else pow (acc * factor) (k - 1) in
+      base * pow 1 i)
+
+(* 4 KiB .. 256 MiB in x4 steps: large enough to separate the classes,
+   small enough that per-page baselines stay inside the default machine. *)
+let bytes_sweep = geometric ~base:Sim.Units.page_size ~factor:4 ~count:9
+
+(* 4 KiB .. 128 KiB (1..32 pages): below the TLB full-flush threshold. *)
+let invlpg_sweep = geometric ~base:Sim.Units.page_size ~factor:2 ~count:6
+
+(* 256 KiB .. 1 GiB (64+ pages): at or above the full-flush threshold. *)
+let flush_sweep = geometric ~base:(Sim.Units.kib 256) ~factor:4 ~count:7
+
+(* 1 .. 4096 pre-existing entries/files (occupancy sweeps). *)
+let count_sweep = geometric ~base:1 ~factor:4 ~count:7
+
+(* ------------------------- baseline VM ops ------------------------- *)
+
+(* DRAM is split half anonymous pool, half tmpfs, so a 256 MiB operand
+   needs more than the default 512 MiB machine: give byte sweeps 2 GiB. *)
+let big_kernel () = kernel ~dram:(Sim.Units.gib 2) ()
+
+let mmap_baseline n =
+  let k = big_kernel () in
+  let p = K.create_process k () in
+  let fs, path, _ = tmpfs_file k ~bytes:n in
+  cycles k (fun () ->
+      ignore (K.mmap_file k p ~fs ~path ~prot:Hw.Prot.r ~share:Os.Vma.Private ~populate:true ()))
+
+let munmap_baseline n =
+  let k = big_kernel () in
+  let p = K.create_process k () in
+  let fs, path, _ = tmpfs_file k ~bytes:n in
+  let va = K.mmap_file k p ~fs ~path ~prot:Hw.Prot.r ~share:Os.Vma.Private ~populate:true () in
+  cycles k (fun () -> K.munmap k p ~va ~len:n)
+
+let mprotect_baseline n =
+  let k = big_kernel () in
+  let p = K.create_process k () in
+  let va = K.mmap_anon k p ~len:n ~prot:Hw.Prot.rw ~populate:true in
+  cycles k (fun () -> K.mprotect k p ~va ~len:n ~prot:Hw.Prot.r)
+
+(* ---------------------------- FOM ops ------------------------------ *)
+
+(* Pre-create a named file of [n] bytes with one process, then hand a
+   second (fresh) process to [f]: the timed operation is always the
+   steady-state map/unmap/protect, never the first-touch file build. *)
+let with_fom ~strategy n f =
+  let k, fom = kernel_and_fom () in
+  let p0 = K.create_process k ~range_translations:true () in
+  ignore (F.alloc fom p0 ~name:"/c" ~strategy ~len:n ~prot:Hw.Prot.rw ());
+  let p = K.create_process k ~range_translations:true () in
+  f k fom p
+
+let mmap_fom ~strategy n =
+  with_fom ~strategy n (fun k fom p ->
+      cycles k (fun () -> ignore (F.map_path fom p ~strategy "/c")))
+
+let munmap_fom ~strategy n =
+  with_fom ~strategy n (fun k fom p ->
+      let r = F.map_path fom p ~strategy "/c" in
+      cycles k (fun () -> F.unmap fom p r))
+
+let mprotect_fom n =
+  with_fom ~strategy:F.Range_translation n (fun k fom p ->
+      let r = F.map_path fom p ~strategy:F.Range_translation "/c" in
+      cycles k (fun () -> ignore (F.protect fom p r ~prot:Hw.Prot.r)))
+
+(* --------------------------- file system --------------------------- *)
+
+let file_create n =
+  let k = kernel () in
+  let fs = K.tmpfs k in
+  for i = 1 to n do
+    ignore (Fs.Memfs.create_file fs (Printf.sprintf "/f%d" i) ~persistence:Fs.Inode.Volatile)
+  done;
+  cycles k (fun () -> ignore (Fs.Memfs.create_file fs "/target" ~persistence:Fs.Inode.Volatile))
+
+let file_extend n =
+  let k = big_kernel () in
+  let fs = K.tmpfs k in
+  let ino = Fs.Memfs.create_file fs "/x" ~persistence:Fs.Inode.Volatile in
+  cycles k (fun () -> Fs.Memfs.extend fs ino ~bytes_wanted:n)
+
+let file_truncate n =
+  let k = big_kernel () in
+  let fs = K.tmpfs k in
+  let ino = Fs.Memfs.create_file fs "/x" ~persistence:Fs.Inode.Volatile in
+  Fs.Memfs.extend fs ino ~bytes_wanted:n;
+  cycles k (fun () -> Fs.Memfs.truncate fs ino ~bytes:0)
+
+let erase ~strategy n =
+  let k = kernel () in
+  let e = O1mem.Erase.create ~mem:(K.mem k) ~strategy in
+  cycles k (fun () -> O1mem.Erase.erase_extent e ~first:0 ~count:(n / Sim.Units.page_size))
+
+(* ------------------- range table / TLB shootdown ------------------- *)
+
+let with_range_table n f =
+  let clock = Sim.Clock.create Sim.Cost_model.default in
+  let stats = Sim.Stats.create () in
+  let rt = Hw.Range_table.create ~clock ~stats () in
+  for i = 0 to n - 1 do
+    Hw.Range_table.insert rt ~base:(i * Sim.Units.mib 4) ~limit:(Sim.Units.mib 2) ~offset:0
+      ~prot:Hw.Prot.rw
+  done;
+  let before = Sim.Clock.now clock in
+  f rt (n * Sim.Units.mib 4);
+  Sim.Clock.elapsed clock ~since:before
+
+let range_table_insert n =
+  with_range_table n (fun rt fresh_base ->
+      Hw.Range_table.insert rt ~base:fresh_base ~limit:(Sim.Units.mib 2) ~offset:0
+        ~prot:Hw.Prot.rw)
+
+let range_table_remove n =
+  with_range_table n (fun rt _ -> ignore (Hw.Range_table.remove rt ~base:0))
+
+let tlb_shootdown n =
+  let clock = Sim.Clock.create Sim.Cost_model.default in
+  let stats = Sim.Stats.create () in
+  let tlb = Hw.Tlb.create ~clock ~stats () in
+  let before = Sim.Clock.now clock in
+  Hw.Tlb.invalidate_range tlb ~va:0 ~len:n;
+  Sim.Clock.elapsed clock ~since:before
+
+(* ----------------------------- sweeps ------------------------------ *)
+
+let sweeps =
+  [
+    {
+      name = "mmap_baseline_per_page";
+      expected = C.Linear;
+      unit_ = "bytes";
+      note = "MAP_POPULATE file map: one PTE per page";
+      sizes = bytes_sweep;
+      measure = mmap_baseline;
+    };
+    {
+      name = "munmap_baseline_per_page";
+      expected = C.Linear;
+      unit_ = "bytes";
+      note = "per-page PTE teardown + frame release";
+      sizes = bytes_sweep;
+      measure = munmap_baseline;
+    };
+    {
+      name = "mprotect_baseline";
+      expected = C.Linear;
+      unit_ = "bytes";
+      note = "per-page PTE permission rewrite";
+      sizes = bytes_sweep;
+      measure = mprotect_baseline;
+    };
+    {
+      name = "mmap_fom_range";
+      expected = C.Constant;
+      unit_ = "bytes";
+      note = "one range-table entry per extent";
+      sizes = bytes_sweep;
+      measure = mmap_fom ~strategy:F.Range_translation;
+    };
+    {
+      name = "munmap_fom_range";
+      expected = C.Constant;
+      unit_ = "bytes";
+      note = "one range entry removed + one shootdown";
+      sizes = bytes_sweep;
+      measure = munmap_fom ~strategy:F.Range_translation;
+    };
+    {
+      name = "mprotect_fom";
+      expected = C.Constant;
+      unit_ = "bytes";
+      note = "whole-file protection: O(extents)";
+      sizes = bytes_sweep;
+      measure = mprotect_fom;
+    };
+    {
+      name = "mmap_fom_graft";
+      expected = C.Logarithmic;
+      unit_ = "bytes";
+      note = "one pointer per 2 MiB window (sublinear in bytes)";
+      sizes = bytes_sweep;
+      measure = mmap_fom ~strategy:F.Shared_subtree;
+    };
+    {
+      name = "ungraft_fom";
+      expected = C.Logarithmic;
+      unit_ = "bytes";
+      note = "drop one pointer per window";
+      sizes = bytes_sweep;
+      measure = munmap_fom ~strategy:F.Shared_subtree;
+    };
+    {
+      name = "file_create";
+      expected = C.Constant;
+      unit_ = "files";
+      note = "create with N pre-existing files";
+      sizes = count_sweep;
+      measure = file_create;
+    };
+    {
+      name = "file_extend";
+      expected = C.Linear;
+      unit_ = "bytes";
+      note = "eager zeroing of new frames (the last linear op)";
+      sizes = bytes_sweep;
+      measure = file_extend;
+    };
+    {
+      name = "file_truncate";
+      expected = C.Constant;
+      unit_ = "bytes";
+      note = "extents back to the bitmap";
+      sizes = bytes_sweep;
+      measure = file_truncate;
+    };
+    {
+      name = "erase_eager";
+      expected = C.Linear;
+      unit_ = "bytes";
+      note = "synchronous memset on the critical path";
+      sizes = bytes_sweep;
+      measure = erase ~strategy:O1mem.Erase.Eager;
+    };
+    {
+      name = "erase_device";
+      expected = C.Constant;
+      unit_ = "bytes";
+      note = "one device erase command per extent";
+      sizes = bytes_sweep;
+      measure = erase ~strategy:O1mem.Erase.Bulk_device;
+    };
+    {
+      name = "range_table_insert";
+      expected = C.Constant;
+      unit_ = "entries";
+      note = "insert with N entries resident";
+      sizes = count_sweep;
+      measure = range_table_insert;
+    };
+    {
+      name = "range_table_remove";
+      expected = C.Constant;
+      unit_ = "entries";
+      note = "remove with N entries resident";
+      sizes = count_sweep;
+      measure = range_table_remove;
+    };
+    {
+      name = "tlb_shootdown_invlpg";
+      expected = C.Linear;
+      unit_ = "bytes";
+      note = "per-page INVLPG below the 33-page threshold";
+      sizes = invlpg_sweep;
+      measure = tlb_shootdown;
+    };
+    {
+      name = "tlb_shootdown_full_flush";
+      expected = C.Constant;
+      unit_ = "bytes";
+      note = "33+ pages: one full flush, size-independent";
+      sizes = flush_sweep;
+      measure = tlb_shootdown;
+    };
+  ]
+
+let run_sweep s =
+  let points = List.map (fun n -> (n, s.measure n)) s.sizes in
+  { sweep = s; points; fit = C.fit points }
+
+(* Deterministic, so computing once per process is safe; both the table
+   printer and the JSON exporter share the same run. *)
+let all = lazy (List.map run_sweep sweeps)
+
+let results () = Lazy.force all
+
+(* ------------------------------ export ----------------------------- *)
+
+let result_to_json r =
+  let n_min, c_min = List.hd r.points in
+  let n_max, c_max = List.nth r.points (List.length r.points - 1) in
+  let fit_fields = match C.fit_to_json r.fit with Sim.Json.Obj f -> f | _ -> [] in
+  Sim.Json.Obj
+    (("expected", Sim.Json.String (C.cls_name r.sweep.expected))
+     :: ("match", Sim.Json.Bool (r.fit.C.cls = r.sweep.expected))
+     :: fit_fields
+    @ [
+        ("unit", Sim.Json.String r.sweep.unit_);
+        ("n_min", Sim.Json.Int n_min);
+        ("n_max", Sim.Json.Int n_max);
+        ("cost_min_cycles", Sim.Json.Int c_min);
+        ("cost_max_cycles", Sim.Json.Int c_max);
+      ])
+
+let to_json () =
+  Sim.Json.Obj (List.map (fun r -> (r.sweep.name, result_to_json r)) (results ()))
+
+(* ------------------------------ report ----------------------------- *)
+
+let run () =
+  print_header "C1"
+    "Scaling laws, machine-checked: fitted log-log exponent and class per operation.";
+  let t =
+    Sim.Table.create ~title:"C1 - complexity classes (least-squares fit on the virtual clock)"
+      ~columns:[ "operation"; "operands"; "expected"; "fitted"; "exponent"; "r^2"; "growth"; "ok" ]
+  in
+  List.iter
+    (fun r ->
+      let n_min, _ = List.hd r.points in
+      let n_max, _ = List.nth r.points (List.length r.points - 1) in
+      let span =
+        if r.sweep.unit_ = "bytes" then
+          Printf.sprintf "%s..%s" (Sim.Units.bytes_to_string n_min)
+            (Sim.Units.bytes_to_string n_max)
+        else Printf.sprintf "%d..%d %s" n_min n_max r.sweep.unit_
+      in
+      Sim.Table.add_row t
+        [
+          r.sweep.name;
+          span;
+          C.cls_name r.sweep.expected;
+          C.cls_name r.fit.C.cls;
+          Sim.Table.cell_float ~dp:3 r.fit.C.exponent;
+          Sim.Table.cell_float ~dp:3 r.fit.C.r2;
+          Sim.Table.cell_float ~dp:1 r.fit.C.growth;
+          (if r.fit.C.cls = r.sweep.expected then "yes" else "NO");
+        ])
+    (results ());
+  Sim.Table.print t;
+  let mismatches = List.filter (fun r -> r.fit.C.cls <> r.sweep.expected) (results ()) in
+  if mismatches <> [] then
+    Printf.printf "WARNING: %d operation(s) off their expected class: %s\n\n"
+      (List.length mismatches)
+      (String.concat ", " (List.map (fun r -> r.sweep.name) mismatches));
+  let us = Sim.Cost_model.cycles_to_us Sim.Cost_model.default in
+  let series name =
+    match List.find_opt (fun r -> r.sweep.name = name) (results ()) with
+    | Some r ->
+      [ { Sim.Chart.label = name; points = List.map (fun (n, c) -> (float_of_int n, us c)) r.points } ]
+    | None -> []
+  in
+  Sim.Chart.print ~logx:true ~logy:true
+    ~title:"C1 (chart): map cost (us) vs operand size (bytes), log-log"
+    (series "mmap_baseline_per_page" @ series "mmap_fom_graft" @ series "mmap_fom_range")

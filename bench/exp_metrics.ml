@@ -55,13 +55,29 @@ let run_workload () =
   O1mem.Fom.free fom p2 g;
   k
 
+let schema_version = "o1mem.metrics/2"
+
+(* Provenance: everything a reader needs to decide whether two exports are
+   comparable. Runs under different cost models or trace capacities would
+   differ for configuration reasons, not code reasons, so `bench-diff`
+   refuses to compare them. *)
+let provenance k =
+  let cfg = K.config k in
+  Sim.Json.Obj
+    [
+      ("cost_model", Sim.Cost_model.to_json cfg.K.cost_model);
+      ("trace_capacity", Sim.Json.Int cfg.K.trace_capacity);
+    ]
+
 let to_json ?events_limit k =
   Sim.Json.Obj
     [
-      ("schema", Sim.Json.String "o1mem.metrics/1");
+      ("schema", Sim.Json.String schema_version);
+      ("provenance", provenance k);
       ("clock_cycles", Sim.Json.Int (Sim.Clock.now (K.clock k)));
       ("stats", Sim.Stats.to_json (K.stats k));
       ("trace", Sim.Trace.to_json ?events_limit (K.trace k));
+      ("complexity", Exp_complexity.to_json ());
     ]
 
 let run_to_json ?events_limit () = to_json ?events_limit (run_workload ())

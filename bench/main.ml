@@ -21,7 +21,9 @@ let run_tables () =
   separator "OS economics (E11, E12, E13, E17)";
   Experiments.Exp_os.run ();
   separator "Ablations (A1..A9)";
-  Experiments.Exp_ablation.run ()
+  Experiments.Exp_ablation.run ();
+  separator "Complexity classes (C1)";
+  Experiments.Exp_complexity.run ()
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel: host wall-clock of each experiment's core operation.      *)
@@ -108,16 +110,25 @@ let run_bechamel () =
     merged
 
 (* ------------------------------------------------------------------ *)
-(* --json: run the deterministic metrics workload and write its JSON
-   export to BENCH_<date>.json. Only the file name depends on the host
+(* --json [--out FILE]: run the deterministic metrics workload (plus the
+   complexity sweeps) and write the JSON export to FILE, defaulting to
+   BENCH_<date>.json. Only the default file name depends on the host
    (today's date); the content is purely virtual-clock-derived, so two
    runs on any machines produce byte-identical JSON. *)
 
 let run_json () =
-  let tm = Unix.localtime (Unix.time ()) in
+  let rec out_arg = function
+    | "--out" :: f :: _ -> Some f
+    | _ :: tl -> out_arg tl
+    | [] -> None
+  in
   let file =
-    Printf.sprintf "BENCH_%04d-%02d-%02d.json" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
-      tm.Unix.tm_mday
+    match out_arg (Array.to_list Sys.argv) with
+    | Some f -> f
+    | None ->
+      let tm = Unix.localtime (Unix.time ()) in
+      Printf.sprintf "BENCH_%04d-%02d-%02d.json" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+        tm.Unix.tm_mday
   in
   let json = Experiments.Exp_metrics.run_to_json ~events_limit:256 () in
   let oc = open_out file in

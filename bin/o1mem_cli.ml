@@ -18,6 +18,7 @@ let groups =
     ("range", Experiments.Exp_range.run);
     ("os", Experiments.Exp_os.run);
     ("ablation", Experiments.Exp_ablation.run);
+    ("complexity", Experiments.Exp_complexity.run);
   ]
 
 let experiments only =
@@ -39,7 +40,10 @@ let experiments only =
   List.iter (fun (_, f) -> f ()) selected
 
 let only_arg =
-  let doc = "Run only this experiment group (mapping, alloc, sharing, range, os, ablation); repeatable." in
+  let doc =
+    "Run only this experiment group (mapping, alloc, sharing, range, os, ablation, complexity); \
+     repeatable."
+  in
   Arg.(value & opt_all string [] & info [ "o"; "only" ] ~docv:"GROUP" ~doc)
 
 let experiments_cmd =
@@ -159,6 +163,53 @@ let metrics_cmd =
   let compact = Arg.(value & flag & info [ "compact" ] ~doc:"Single-line JSON output.") in
   Cmd.v (Cmd.info "metrics" ~doc) Term.(const metrics $ events_limit $ compact)
 
+(* --------------------------- bench-diff ---------------------------- *)
+
+(* Exit codes: 0 = no regression, 1 = regression or class downgrade,
+   2 = documents unreadable or incomparable (schema/provenance). *)
+let bench_diff old_file new_file threshold =
+  let read f =
+    let ic = open_in_bin f in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let parse f =
+    match read f with
+    | exception Sys_error e ->
+      Printf.eprintf "bench-diff: %s\n" e;
+      exit 2
+    | s -> (
+      match Sim.Json.of_string s with
+      | Ok v -> v
+      | Error e ->
+        Printf.eprintf "bench-diff: %s: %s\n" f e;
+        exit 2)
+  in
+  let old_doc = parse old_file in
+  let new_doc = parse new_file in
+  match Sim.Regress.compare_docs ~threshold_pct:threshold ~old_doc ~new_doc () with
+  | Error reason ->
+    Printf.eprintf "bench-diff: %s\n" reason;
+    exit 2
+  | Ok report ->
+    print_string (Sim.Regress.render report);
+    if Sim.Regress.regressions report <> [] then exit 1
+
+let bench_diff_cmd =
+  let doc =
+    "Compare two bench JSON exports (counters, p50/p99 latencies, fitted complexity classes) and \
+     fail on regressions beyond the threshold or any complexity-class downgrade"
+  in
+  let old_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD.json") in
+  let new_arg = Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW.json") in
+  let threshold =
+    Arg.(
+      value & opt float 10.0
+      & info [ "threshold" ] ~docv:"PCT" ~doc:"Allowed counter/latency drift in percent.")
+  in
+  Cmd.v (Cmd.info "bench-diff" ~doc) Term.(const bench_diff $ old_arg $ new_arg $ threshold)
+
 (* ----------------------------- churn ------------------------------- *)
 
 let churn backend ops max_kib seed =
@@ -256,4 +307,9 @@ let () =
   let doc = "file-only memory simulator (reproduction of 'Towards O(1) Memory', HotOS'17)" in
   let info = Cmd.info "o1mem_cli" ~version:"1.0.0" ~doc in
   exit
-    (Cmd.eval (Cmd.group info [ experiments_cmd; study_cmd; walkrefs_cmd; simulate_cmd; churn_cmd; metrics_cmd ]))
+    (Cmd.eval
+       (Cmd.group info
+          [
+            experiments_cmd; study_cmd; walkrefs_cmd; simulate_cmd; churn_cmd; metrics_cmd;
+            bench_diff_cmd;
+          ]))

@@ -6,8 +6,20 @@ let render ?(width = 64) ?(height = 16) ?(logx = false) ?(logy = false) ~title s
   let tx v = if logx then log v else v in
   let ty v = if logy then log v else v in
   let usable (x, y) = ((not logx) || x > 0.0) && ((not logy) || y > 0.0) in
+  let legend buf =
+    List.iteri
+      (fun si s ->
+        Buffer.add_string buf
+          (Printf.sprintf "            %c  %s\n" markers.(si mod Array.length markers) s.label))
+      series
+  in
   let pts = List.concat_map (fun s -> List.filter usable s.points) series in
-  if pts = [] then title ^ "\n(no data)\n"
+  if pts = [] then begin
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf (title ^ "\n(no data)\n");
+    legend buf;
+    Buffer.contents buf
+  end
   else begin
     let xs = List.map (fun (x, _) -> tx x) pts and ys = List.map (fun (_, y) -> ty y) pts in
     let fmin l = List.fold_left min (List.hd l) l and fmax l = List.fold_left max (List.hd l) l in
@@ -28,8 +40,13 @@ let render ?(width = 64) ?(height = 16) ?(logx = false) ?(logy = false) ~title s
                 height - 1
                 - int_of_float (Float.round ((ty y -. y0) /. yr *. float_of_int (height - 1)))
               in
-              if cx >= 0 && cx < width && cy >= 0 && cy < height then
-                grid.(cy).(cx) <- (if grid.(cy).(cx) = ' ' then m else '&')
+              if cx >= 0 && cx < width && cy >= 0 && cy < height then begin
+                (* '&' only when *different* series collide; repeated points
+                   of one series keep its own marker. *)
+                let prev = grid.(cy).(cx) in
+                if prev = ' ' then grid.(cy).(cx) <- m
+                else if prev <> m then grid.(cy).(cx) <- '&'
+              end
             end)
           s.points)
       series;
@@ -59,11 +76,9 @@ let render ?(width = 64) ?(height = 16) ?(logx = false) ?(logy = false) ~title s
          (String.make 12 ' ')
          (if logx then "(log x) " else "")
          (if logy then "(log y)" else ""));
-    List.iteri
-      (fun si s ->
-        Buffer.add_string buf
-          (Printf.sprintf "            %c  %s\n" markers.(si mod Array.length markers) s.label))
-      series;
+    legend buf;
+    if Array.exists (fun row -> Array.exists (( = ) '&') row) grid then
+      Buffer.add_string buf "            &  (overlapping series)\n";
     Buffer.contents buf
   end
 

@@ -8,7 +8,11 @@ val render :
   ?width:int -> ?height:int -> ?logx:bool -> ?logy:bool -> title:string -> series list -> string
 (** A [width] x [height] (default 64 x 16) plot. Points with
     non-positive coordinates are dropped when the matching axis is
-    logarithmic. Returns the chart followed by a legend. *)
+    logarithmic. Returns the chart followed by a legend mapping each
+    series label to its marker; cells where two *different* series
+    collide are drawn as ['&'] and the legend explains that marker
+    whenever it appears. A chart with no drawable points still renders
+    its title and legend. *)
 
 val print :
   ?width:int -> ?height:int -> ?logx:bool -> ?logy:bool -> title:string -> series list -> unit

@@ -60,6 +60,35 @@ let cycles_to_ms t c = cycles_to_us t c /. 1000.0
 let zero_cost t ~bytes = bytes * t.zero_byte_num / t.zero_byte_den
 let copy_cost t ~bytes = bytes * t.copy_byte_num / t.copy_byte_den
 
+let to_json t =
+  Json.Obj
+    [
+      ("freq_ghz", Json.Float t.freq_ghz);
+      ("syscall", Json.Int t.syscall);
+      ("vma_setup", Json.Int t.vma_setup);
+      ("pte_write", Json.Int t.pte_write);
+      ("pt_node_alloc", Json.Int t.pt_node_alloc);
+      ("fault_trap", Json.Int t.fault_trap);
+      ("mem_ref_dram", Json.Int t.mem_ref_dram);
+      ("mem_ref_nvm_read", Json.Int t.mem_ref_nvm_read);
+      ("mem_ref_nvm_write", Json.Int t.mem_ref_nvm_write);
+      ("cache_ref", Json.Int t.cache_ref);
+      ("tlb_hit", Json.Int t.tlb_hit);
+      ("tlb_shootdown", Json.Int t.tlb_shootdown);
+      ("cores", Json.Int t.cores);
+      ("ipi", Json.Int t.ipi);
+      ("zero_byte_num", Json.Int t.zero_byte_num);
+      ("zero_byte_den", Json.Int t.zero_byte_den);
+      ("frame_alloc", Json.Int t.frame_alloc);
+      ("struct_page_init", Json.Int t.struct_page_init);
+      ("fs_lookup", Json.Int t.fs_lookup);
+      ("fs_extent_op", Json.Int t.fs_extent_op);
+      ("range_table_op", Json.Int t.range_table_op);
+      ("scheduler", Json.Int t.scheduler);
+      ("copy_byte_num", Json.Int t.copy_byte_num);
+      ("copy_byte_den", Json.Int t.copy_byte_den);
+    ]
+
 let pp ppf t =
   Format.fprintf ppf
     "cost model: %.1f GHz, syscall=%d vma=%d pte=%d fault=%d dram=%d nvm(r/w)=%d/%d shootdown=%d"

@@ -54,3 +54,8 @@ val copy_cost : t -> bytes:int -> int
 
 val pp : Format.formatter -> t -> unit
 (** Print the key constants of the model, for bench headers. *)
+
+val to_json : t -> Json.t
+(** Every parameter of the model as a flat JSON object — recorded as
+    provenance in bench exports so regression comparisons can refuse to
+    diff runs taken under different models. *)

@@ -83,9 +83,10 @@ let to_string ?(pretty = false) v =
 
 exception Parse_error of string * int
 
-let of_string s =
+let of_string ?(max_depth = 512) s =
   let n = String.length s in
   let pos = ref 0 in
+  let depth = ref 0 in
   let fail msg = raise (Parse_error (msg, !pos)) in
   let peek () = if !pos < n then Some s.[!pos] else None in
   let skip_ws () =
@@ -190,10 +191,13 @@ let of_string s =
     skip_ws ();
     match peek () with
     | Some '{' ->
+      if !depth >= max_depth then fail "nesting too deep";
+      incr depth;
       incr pos;
       skip_ws ();
       if peek () = Some '}' then begin
         incr pos;
+        decr depth;
         Obj []
       end
       else
@@ -210,15 +214,19 @@ let of_string s =
             members ((k, v) :: acc)
           | Some '}' ->
             incr pos;
+            decr depth;
             Obj (List.rev ((k, v) :: acc))
           | _ -> fail "expected ',' or '}'"
         in
         members []
     | Some '[' ->
+      if !depth >= max_depth then fail "nesting too deep";
+      incr depth;
       incr pos;
       skip_ws ();
       if peek () = Some ']' then begin
         incr pos;
+        decr depth;
         List []
       end
       else
@@ -231,6 +239,7 @@ let of_string s =
             items (v :: acc)
           | Some ']' ->
             incr pos;
+            decr depth;
             List (List.rev (v :: acc))
           | _ -> fail "expected ',' or ']'"
         in

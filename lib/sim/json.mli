@@ -18,8 +18,11 @@ type t =
 val to_string : ?pretty:bool -> t -> string
 (** Serialize. [pretty] (default false) adds newlines and 2-space indent. *)
 
-val of_string : string -> (t, string) result
-(** Parse a complete JSON document; trailing non-whitespace is an error. *)
+val of_string : ?max_depth:int -> string -> (t, string) result
+(** Parse a complete JSON document; trailing non-whitespace is an error.
+    Containers nested deeper than [max_depth] (default 512) are rejected
+    with a ["nesting too deep"] error instead of risking stack overflow
+    on adversarial input. *)
 
 val member : t -> string -> t option
 (** [member (Obj fields) key] looks up [key]; [None] on non-objects. *)

@@ -1,0 +1,198 @@
+(* Compare two metrics JSON documents and flag regressions. Pure Json.t ->
+   report; file IO and exit codes live in the CLI. *)
+
+type status = Within | Regressed | Improved | Added | Removed | Downgraded | Upgraded
+
+let status_name = function
+  | Within -> "within"
+  | Regressed -> "REGRESSED"
+  | Improved -> "improved"
+  | Added -> "added"
+  | Removed -> "removed"
+  | Downgraded -> "DOWNGRADED"
+  | Upgraded -> "upgraded"
+
+type delta = {
+  section : string;
+  key : string;
+  old_v : string;
+  new_v : string;
+  pct : float option;
+  status : status;
+}
+
+type report = { threshold_pct : float; compared : int; deltas : delta list }
+
+(* ---------------------------- JSON access ---------------------------- *)
+
+let number = function
+  | Json.Int i -> Some (float_of_int i)
+  | Json.Float f -> Some f
+  | _ -> None
+
+let path doc keys = List.fold_left (fun v k -> Option.bind v (fun v -> Json.member v k)) (Some doc) keys
+
+let fields = function Some (Json.Obj f) -> f | _ -> []
+
+let union_keys a b =
+  List.sort_uniq String.compare (List.map fst a @ List.map fst b)
+
+let show_number f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.4g" f
+
+(* ------------------------------ compare ------------------------------ *)
+
+type acc = { mutable n : int; mutable rows : delta list }
+
+let emit acc d = acc.rows <- d :: acc.rows
+
+(* One numeric metric present on both sides. *)
+let numeric acc ~threshold ~section ~key old_ new_ =
+  acc.n <- acc.n + 1;
+  if old_ <> new_ then begin
+    let pct = if old_ = 0.0 then Float.infinity *. Float.of_int (Stdlib.compare new_ old_) else (new_ -. old_) /. old_ *. 100.0 in
+    let status =
+      if Float.abs pct <= threshold then Within else if new_ > old_ then Regressed else Improved
+    in
+    emit acc
+      { section; key; old_v = show_number old_; new_v = show_number new_; pct = Some pct; status }
+  end
+
+let one_sided acc ~section ~key ~status v =
+  acc.n <- acc.n + 1;
+  let s = match number v with Some f -> show_number f | None -> Json.to_string v in
+  let old_v, new_v = if status = Added then ("-", s) else (s, "-") in
+  emit acc { section; key; old_v; new_v; pct = None; status }
+
+(* Walk the union of an object's keys, comparing numeric members. *)
+let compare_numeric_obj acc ~threshold ~section old_fields new_fields =
+  List.iter
+    (fun k ->
+      match (List.assoc_opt k old_fields, List.assoc_opt k new_fields) with
+      | Some o, Some n -> (
+        match (number o, number n) with
+        | Some fo, Some fn -> numeric acc ~threshold ~section ~key:k fo fn
+        | _ -> ())
+      | Some o, None -> one_sided acc ~section ~key:k ~status:Removed o
+      | None, Some n -> one_sided acc ~section ~key:k ~status:Added n
+      | None, None -> ())
+    (union_keys old_fields new_fields)
+
+let compare_latency acc ~threshold old_doc new_doc =
+  let old_ops = fields (path old_doc [ "trace"; "ops" ]) in
+  let new_ops = fields (path new_doc [ "trace"; "ops" ]) in
+  List.iter
+    (fun op ->
+      match (List.assoc_opt op old_ops, List.assoc_opt op new_ops) with
+      | Some o, Some n ->
+        List.iter
+          (fun q ->
+            match (Option.bind (Json.member o q) number, Option.bind (Json.member n q) number) with
+            | Some fo, Some fn -> numeric acc ~threshold ~section:"latency" ~key:(op ^ " " ^ q) fo fn
+            | _ -> ())
+          [ "p50"; "p99" ]
+      | Some o, None -> one_sided acc ~section:"latency" ~key:op ~status:Removed o
+      | None, Some n -> one_sided acc ~section:"latency" ~key:op ~status:Added n
+      | None, None -> ())
+    (union_keys old_ops new_ops)
+
+let compare_complexity acc old_doc new_doc =
+  let old_ops = fields (path old_doc [ "complexity" ]) in
+  let new_ops = fields (path new_doc [ "complexity" ]) in
+  let str v k = match Option.bind (Json.member v k) (function Json.String s -> Some s | _ -> None) with
+    | Some s -> s
+    | None -> "?"
+  in
+  List.iter
+    (fun op ->
+      match (List.assoc_opt op old_ops, List.assoc_opt op new_ops) with
+      | Some o, Some n ->
+        let co = str o "class" and cn = str n "class" in
+        acc.n <- acc.n + 1;
+        if co <> cn then begin
+          let status =
+            match (Complexity.cls_of_name co, Complexity.cls_of_name cn) with
+            | Some a, Some b ->
+              if Complexity.rank b > Complexity.rank a then Downgraded else Upgraded
+            | _ -> Downgraded (* unknown class names: fail safe *)
+          in
+          emit acc { section = "complexity"; key = op ^ " class"; old_v = co; new_v = cn; pct = None; status }
+        end;
+        (match (Option.bind (Json.member o "exponent") number, Option.bind (Json.member n "exponent") number) with
+        | Some fo, Some fn ->
+          acc.n <- acc.n + 1;
+          (* Exponent drift is informational; the gate acts on class changes. *)
+          if fo <> fn then
+            emit acc
+              {
+                section = "complexity";
+                key = op ^ " exponent";
+                old_v = show_number fo;
+                new_v = show_number fn;
+                pct = None;
+                status = Within;
+              }
+        | _ -> ())
+      | Some o, None -> one_sided acc ~section:"complexity" ~key:op ~status:Removed o
+      | None, Some n -> one_sided acc ~section:"complexity" ~key:op ~status:Added n
+      | None, None -> ())
+    (union_keys old_ops new_ops)
+
+let compare_docs ?(threshold_pct = 10.0) ~old_doc ~new_doc () =
+  let schema d = match Json.member d "schema" with Some (Json.String s) -> Some s | _ -> None in
+  match (schema old_doc, schema new_doc) with
+  | None, _ | _, None -> Error "missing \"schema\" field: not a metrics document"
+  | Some a, Some b when a <> b ->
+    Error (Printf.sprintf "schema mismatch: %S vs %S — regenerate the baseline" a b)
+  | Some _, Some _ -> (
+    match (Json.member old_doc "provenance", Json.member new_doc "provenance") with
+    | Some p, Some q when p <> q ->
+      Error "provenance mismatch (cost model or trace capacity differ): runs are not comparable"
+    | Some _, None | None, Some _ ->
+      Error "provenance present in only one document: runs are not comparable"
+    | _ ->
+      let acc = { n = 0; rows = [] } in
+      (match (Option.bind (Json.member old_doc "clock_cycles") number,
+              Option.bind (Json.member new_doc "clock_cycles") number) with
+      | Some o, Some n -> numeric acc ~threshold:threshold_pct ~section:"clock" ~key:"clock_cycles" o n
+      | _ -> ());
+      compare_numeric_obj acc ~threshold:threshold_pct ~section:"counters"
+        (fields (Json.member old_doc "stats"))
+        (fields (Json.member new_doc "stats"));
+      compare_latency acc ~threshold:threshold_pct old_doc new_doc;
+      compare_complexity acc old_doc new_doc;
+      Ok { threshold_pct; compared = acc.n; deltas = List.rev acc.rows })
+
+let regressions r =
+  List.filter (fun d -> d.status = Regressed || d.status = Downgraded) r.deltas
+
+let render r =
+  if r.deltas = [] then
+    Printf.sprintf "bench-diff: %d metrics compared, no differences (threshold %.1f%%)\n" r.compared
+      r.threshold_pct
+  else begin
+    let t =
+      Table.create ~title:"bench-diff deltas"
+        ~columns:[ "section"; "metric"; "old"; "new"; "delta"; "status" ]
+    in
+    List.iter
+      (fun d ->
+        let delta =
+          match d.pct with
+          | Some p when Float.is_finite p -> Printf.sprintf "%+.1f%%" p
+          | Some p -> if p > 0.0 then "+inf" else "-inf"
+          | None -> "-"
+        in
+        Table.add_row t [ d.section; d.key; d.old_v; d.new_v; delta; status_name d.status ])
+      r.deltas;
+    let bad = List.length (regressions r) in
+    let improved = List.length (List.filter (fun d -> d.status = Improved) r.deltas) in
+    Table.render t
+    ^ Printf.sprintf "\n%d metrics compared, %d changed: %d regression%s, %d improvement%s (threshold %.1f%%)\n"
+        r.compared (List.length r.deltas) bad
+        (if bad = 1 then "" else "s")
+        improved
+        (if improved = 1 then "" else "s")
+        r.threshold_pct
+  end

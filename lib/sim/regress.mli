@@ -1,0 +1,49 @@
+(** Cross-run bench regression gate.
+
+    Compares two metrics documents (the JSON written by [bench --json] /
+    [o1mem_cli metrics]) and reports every metric that moved: the virtual
+    clock total, each [Stats] counter, per-operation p50/p99 latencies from
+    the trace, and fitted complexity classes/exponents. Because the bench
+    workload is deterministic, a self-comparison is empty; any delta on an
+    unchanged workload is a real behaviour change.
+
+    Two documents are only comparable when their schema and provenance
+    (cost-model parameters, trace capacity) agree — otherwise deltas would
+    reflect configuration, not code. *)
+
+type status =
+  | Within  (** changed, inside the threshold *)
+  | Regressed  (** cost grew beyond the threshold *)
+  | Improved  (** cost shrank beyond the threshold *)
+  | Added  (** metric present only in the new run *)
+  | Removed  (** metric present only in the old run *)
+  | Downgraded  (** complexity class got worse — always fails the gate *)
+  | Upgraded  (** complexity class got better *)
+
+val status_name : status -> string
+
+type delta = {
+  section : string;  (** "counters", "latency", "complexity", "clock" *)
+  key : string;
+  old_v : string;
+  new_v : string;
+  pct : float option;  (** percentage change when both sides are numeric *)
+  status : status;
+}
+
+type report = {
+  threshold_pct : float;
+  compared : int;  (** metrics examined across both documents *)
+  deltas : delta list;  (** only metrics that differ, section-ordered *)
+}
+
+val compare_docs :
+  ?threshold_pct:float -> old_doc:Json.t -> new_doc:Json.t -> unit -> (report, string) result
+(** [threshold_pct] defaults to 10. [Error reason] when the documents are
+    incompatible: unequal schemas, or unequal/missing provenance. *)
+
+val regressions : report -> delta list
+(** The deltas that fail the gate: [Regressed] and [Downgraded]. *)
+
+val render : report -> string
+(** Human-readable delta table (via {!Table}) plus a one-line verdict. *)

@@ -35,5 +35,7 @@ let smaps_summary k (proc : Proc.t) =
     (Address_space.vma_count proc.Proc.aspace)
     (Sim.Units.bytes_to_string (rss_pages proc * Sim.Units.page_size))
     (Sim.Units.bytes_to_string
-       (int_of_float (pss_pages k proc *. float_of_int Sim.Units.page_size)))
+       (* Round to nearest: truncation under-reports PSS for shared
+          mappings (e.g. 2 pages / 3 sharers = 2730.67 B, not 2730 B). *)
+       (int_of_float (Float.round (pss_pages k proc *. float_of_int Sim.Units.page_size))))
     (Sim.Units.bytes_to_string (pt_bytes proc))

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "o1mem"
     [
       ("sim", Test_sim.suite);
+      ("complexity", Test_complexity.suite);
       ("trace", Test_trace.suite);
       ("physmem", Test_physmem.suite);
       ("alloc", Test_alloc.suite);

@@ -143,6 +143,22 @@ let test_mmap_file_shared_reads_file_data () =
   | None -> Alcotest.fail "not mapped");
   check_int "one minor fault" 1 (Sim.Stats.get (K.stats k) "minor_fault")
 
+let test_smaps_pss_shared_rounds () =
+  let k = mk_kernel () in
+  let fs = K.tmpfs k in
+  let ino = Fs.Memfs.create_file fs "/pss" ~persistence:Fs.Inode.Volatile in
+  Fs.Memfs.extend fs ino ~bytes_wanted:(Sim.Units.kib 8);
+  let procs = List.init 3 (fun _ -> K.create_process k ()) in
+  List.iter
+    (fun p ->
+      ignore (K.mmap_file k p ~fs ~path:"/pss" ~prot:Hw.Prot.r ~share:Os.Vma.Shared ~populate:true ()))
+    procs;
+  (* 2 pages shared by 3 processes: PSS = 8192/3 = 2730.67 B. Truncation
+     used to report 2730B; nearest rounding gives 2731B. *)
+  let summary = Os.Procfs.smaps_summary k (List.hd procs) in
+  check_bool "pss rounds to nearest" true (Helpers.contains ~needle:"pss 2731B" summary);
+  check_bool "rss unaffected" true (Helpers.contains ~needle:"rss 8KiB" summary)
+
 let test_mmap_file_private_cow () =
   let k, p = mk () in
   let fs = K.tmpfs k in
@@ -355,6 +371,8 @@ let suite =
     Alcotest.test_case "kernel: segfault on readonly write" `Quick test_segfault_write_to_readonly;
     Alcotest.test_case "kernel: shared file mapping" `Quick test_mmap_file_shared_reads_file_data;
     Alcotest.test_case "kernel: private file CoW" `Quick test_mmap_file_private_cow;
+    Alcotest.test_case "procfs: shared-mapping PSS rounds to nearest" `Quick
+      test_smaps_pss_shared_rounds;
     Alcotest.test_case "kernel: file permission check" `Quick test_mmap_file_permission_check;
     Alcotest.test_case "kernel: munmap releases pages" `Quick test_munmap_releases;
     Alcotest.test_case "kernel: munmap drops file reference" `Quick test_munmap_file_drops_reference;

@@ -134,6 +134,71 @@ let test_table_render () =
   check_bool "title present" true (String.length s > 0 && String.sub s 0 7 = "== demo");
   check_bool "contains row" true (Helpers.contains ~needle:"333" s)
 
+let json_error s =
+  match Sim.Json.of_string s with
+  | Ok _ -> Alcotest.failf "parser accepted %S" s
+  | Error e -> e
+
+let test_json_roundtrip () =
+  let v =
+    Sim.Json.Obj
+      [
+        ("a", Sim.Json.List [ Sim.Json.Int 1; Sim.Json.Float 2.5; Sim.Json.Null ]);
+        ("b", Sim.Json.Obj [ ("nested", Sim.Json.Bool true) ]);
+        ("s", Sim.Json.String "quote \" slash \\ tab \t");
+      ]
+  in
+  (match Sim.Json.of_string (Sim.Json.to_string v) with
+  | Ok v' -> check_bool "compact round trip" true (v = v')
+  | Error e -> Alcotest.fail e);
+  match Sim.Json.of_string (Sim.Json.to_string ~pretty:true v) with
+  | Ok v' -> check_bool "pretty round trip" true (v = v')
+  | Error e -> Alcotest.fail e
+
+let test_json_truncated () =
+  check_bool "truncated object" true
+    (Helpers.contains ~needle:"expected" (json_error {|{"a": 1|}));
+  check_bool "truncated list" true (Helpers.contains ~needle:"expected" (json_error "[1, 2"));
+  check_bool "truncated string" true
+    (Helpers.contains ~needle:"unterminated string" (json_error {|"abc|}));
+  check_bool "truncated escape" true
+    (Helpers.contains ~needle:"unterminated escape" (json_error "\"a\\"));
+  check_bool "truncated unicode escape" true
+    (Helpers.contains ~needle:"\\u escape" (json_error {|"\u00|}));
+  check_bool "lone minus" true (Helpers.contains ~needle:"digit" (json_error "-"));
+  check_bool "empty input" true (Helpers.contains ~needle:"unexpected" (json_error ""))
+
+let test_json_trailing_garbage () =
+  check_bool "trailing token" true (Helpers.contains ~needle:"trailing" (json_error "1 x"));
+  check_bool "two documents" true (Helpers.contains ~needle:"trailing" (json_error "{} {}"));
+  check_bool "trailing ws alone is fine" true
+    (Sim.Json.of_string "  {}  \n" = Ok (Sim.Json.Obj []))
+
+let test_json_bad_tokens () =
+  check_bool "bad escape" true (Helpers.contains ~needle:"bad escape" (json_error {|"\q"|}));
+  check_bool "bad \\u" true (Helpers.contains ~needle:"bad \\u escape" (json_error {|"\uzzzz"|}));
+  check_bool "unquoted key" true (Helpers.contains ~needle:"expected" (json_error "{a: 1}"));
+  check_bool "error reports offset" true (Helpers.contains ~needle:"at offset" (json_error "[1,]"))
+
+let test_json_deep_nesting () =
+  let deep n = String.make n '[' ^ "1" ^ String.make n ']' in
+  (match Sim.Json.of_string (deep 100) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "depth 100 should parse: %s" e);
+  check_bool "default depth cap" true
+    (Helpers.contains ~needle:"nesting too deep" (json_error (deep 5000)));
+  check_bool "explicit cap" true
+    (match Sim.Json.of_string ~max_depth:3 "[[[[1]]]]" with
+    | Error e -> Helpers.contains ~needle:"nesting too deep" e
+    | Ok _ -> false);
+  check_bool "objects count too" true
+    (match Sim.Json.of_string ~max_depth:2 {|{"a": {"b": {"c": 1}}}|} with
+    | Error e -> Helpers.contains ~needle:"nesting too deep" e
+    | Ok _ -> false);
+  check_bool "at the cap is fine" true
+    (Sim.Json.of_string ~max_depth:2 "[[1]]"
+    = Ok (Sim.Json.List [ Sim.Json.List [ Sim.Json.Int 1 ] ]))
+
 (* Property tests *)
 
 let prop_round_up_ge =
@@ -211,6 +276,11 @@ let suite =
     Alcotest.test_case "histogram: percentile clamped to observed range" `Quick
       test_histogram_percentile_clamped;
     Alcotest.test_case "table: renders" `Quick test_table_render;
+    Alcotest.test_case "json: round trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json: truncated inputs rejected" `Quick test_json_truncated;
+    Alcotest.test_case "json: trailing garbage rejected" `Quick test_json_trailing_garbage;
+    Alcotest.test_case "json: bad tokens rejected with offsets" `Quick test_json_bad_tokens;
+    Alcotest.test_case "json: nesting depth capped" `Quick test_json_deep_nesting;
     prop_round_up_ge;
     prop_round_down_le;
     prop_log2;
