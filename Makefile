@@ -36,4 +36,9 @@ bench-diff:
 	dune exec bin/o1mem_cli.exe -- bench-diff \
 	  $$(ls BENCH_*.json | sort | tail -1) fresh_bench.json --threshold 10
 
-.PHONY: all test test-verbose bench examples clean check bench-diff
+# Host wall-clock ops/sec over the end-to-end scenarios (the one
+# non-deterministic harness; see EXPERIMENTS.md "Throughput harness").
+throughput:
+	dune exec bench/main.exe -- --throughput
+
+.PHONY: all test test-verbose bench examples clean check bench-diff throughput

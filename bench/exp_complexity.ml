@@ -124,6 +124,21 @@ let erase ~strategy n =
   let e = O1mem.Erase.create ~mem:(K.mem k) ~strategy in
   cycles k (fun () -> O1mem.Erase.erase_extent e ~first:0 ~count:(n / Sim.Units.page_size))
 
+(* Fixed 16 MiB of mappings split across n VMAs (alternating protections
+   so adjacent VMAs never merge), then tear the process down: with
+   mmu_gather-style batching, exit pays one syscall and one flush no
+   matter how fragmented the address space is. *)
+let munmap_batched_vmas n =
+  let k = big_kernel () in
+  let p = K.create_process k () in
+  let total_pages = 4096 in
+  let pages_per_vma = max 1 (total_pages / n) in
+  for i = 0 to n - 1 do
+    let prot = if i land 1 = 0 then Hw.Prot.rw else Hw.Prot.r in
+    ignore (K.mmap_anon k p ~len:(pages_per_vma * Sim.Units.page_size) ~prot ~populate:true)
+  done;
+  cycles k (fun () -> K.exit_process k p)
+
 (* ------------------- range table / TLB shootdown ------------------- *)
 
 let with_range_table n f =
@@ -277,6 +292,14 @@ let sweeps =
       note = "remove with N entries resident";
       sizes = count_sweep;
       measure = range_table_remove;
+    };
+    {
+      name = "munmap_batched_vmas";
+      expected = C.Constant;
+      unit_ = "vmas";
+      note = "16 MiB teardown across N VMAs: one batched flush";
+      sizes = count_sweep;
+      measure = munmap_batched_vmas;
     };
     {
       name = "tlb_shootdown_invlpg";

@@ -24,6 +24,11 @@ let run_workload () =
   let small = Sim.Units.kib 32 in
   let va2 = K.mmap_anon k p ~len:small ~prot:Hw.Prot.rw ~populate:true in
   K.munmap k p ~va:va2 ~len:small;
+  (* The frames freed above are dirty: launder some in "idle time", then
+     re-populate so the fault path hits the pre-zeroed cache. *)
+  ignore (K.background_zero k ~budget_frames:32);
+  let va3 = K.mmap_anon k p ~len:small ~prot:Hw.Prot.rw ~populate:true in
+  K.munmap k p ~va:va3 ~len:small;
   (* File metadata: create/extend/truncate/unlink a batch of files. *)
   let fs = K.tmpfs k in
   for i = 0 to 7 do
@@ -55,7 +60,7 @@ let run_workload () =
   O1mem.Fom.free fom p2 g;
   k
 
-let schema_version = "o1mem.metrics/2"
+let schema_version = "o1mem.metrics/3"
 
 (* Provenance: everything a reader needs to decide whether two exports are
    comparable. Runs under different cost models or trace capacities would

@@ -1,0 +1,103 @@
+(* T1 — wall-clock throughput of the simulator itself: real ops/sec
+   (Unix.gettimeofday, NOT the virtual clock) over the churn and fs-study
+   workloads. Unlike everything else in the bench export these numbers
+   are machine- and load-dependent, so bench-diff treats the "throughput"
+   section as report-only unless --gate-throughput is passed; their value
+   is the trajectory, not any single run. *)
+
+module K = Os.Kernel
+
+let run_churn backend ~ops =
+  let rng = Sim.Rng.create ~seed:42 in
+  let trace = Wl.Churn.generate ~rng ~ops ~max_bytes:(Sim.Units.kib 64) () in
+  let k = Bench_env.kernel ~dram:(Sim.Units.gib 1) ~nvm:(Sim.Units.gib 1) () in
+  match backend with
+  | `Malloc ->
+    let p = K.create_process k () in
+    let h = Heap.Malloc_sim.create k p in
+    Wl.Churn.run trace
+      {
+        Wl.Churn.h_malloc = (fun ~bytes -> Heap.Malloc_sim.malloc h ~bytes);
+        h_free = (fun va -> Heap.Malloc_sim.free h va);
+        h_touch =
+          (fun ~va ~bytes ->
+            ignore
+              (K.access_range k p ~va ~len:(max 1 bytes) ~write:true
+                 ~stride:Sim.Units.page_size));
+      }
+  | `Fom ->
+    let fom = O1mem.Fom.create k () in
+    let p = K.create_process k () in
+    let h = Heap.Fom_heap.create fom p () in
+    Wl.Churn.run trace
+      {
+        Wl.Churn.h_malloc = (fun ~bytes -> Heap.Fom_heap.malloc h ~bytes);
+        h_free = (fun va -> Heap.Fom_heap.free h va);
+        h_touch =
+          (fun ~va ~bytes ->
+            ignore
+              (O1mem.Fom.access_range fom p ~va ~len:(max 1 bytes) ~write:true
+                 ~stride:Sim.Units.page_size));
+      }
+
+let run_fs_study ~machines =
+  let r =
+    Wl.Fs_study.run ~rng:(Sim.Rng.create ~seed:2017)
+      { Wl.Fs_study.default_params with Wl.Fs_study.machines; years = 3 }
+  in
+  r.Wl.Fs_study.samples
+
+(* Smoke mode keeps CI cheap; the full sizes are for trajectory numbers. *)
+let scenarios ~smoke =
+  let churn_ops = if smoke then 200 else 5000 in
+  let machines = if smoke then 10 else 100 in
+  [
+    ("churn_malloc", fun () -> run_churn `Malloc ~ops:churn_ops);
+    ("churn_fom", fun () -> run_churn `Fom ~ops:churn_ops);
+    ("fs_study", fun () -> run_fs_study ~machines);
+  ]
+
+let measure ~smoke =
+  List.map
+    (fun (name, f) ->
+      let t0 = Unix.gettimeofday () in
+      let ops = f () in
+      let seconds = Unix.gettimeofday () -. t0 in
+      (name, ops, seconds))
+    (scenarios ~smoke)
+
+let ops_per_sec ops seconds = float_of_int ops /. Float.max seconds 1e-9
+
+let to_json ?(smoke = false) () =
+  Sim.Json.Obj
+    (List.map
+       (fun (name, ops, seconds) ->
+         ( name,
+           Sim.Json.Obj
+             [
+               ("ops", Sim.Json.Int ops);
+               ("seconds", Sim.Json.Float seconds);
+               ("ops_per_sec", Sim.Json.Float (ops_per_sec ops seconds));
+             ] ))
+       (measure ~smoke))
+
+let run ?(smoke = false) () =
+  Bench_env.print_header "T1"
+    "Host throughput (wall clock, ops/sec) of the simulator over real workloads.";
+  let t =
+    Sim.Table.create
+      ~title:
+        (Printf.sprintf "T1 - wall-clock throughput%s" (if smoke then " (smoke)" else ""))
+      ~columns:[ "scenario"; "ops"; "seconds"; "ops/sec" ]
+  in
+  List.iter
+    (fun (name, ops, seconds) ->
+      Sim.Table.add_row t
+        [
+          name;
+          string_of_int ops;
+          Sim.Table.cell_float ~dp:3 seconds;
+          Sim.Table.cell_float ~dp:0 (ops_per_sec ops seconds);
+        ])
+    (measure ~smoke);
+  Sim.Table.print t

@@ -110,11 +110,16 @@ let run_bechamel () =
     merged
 
 (* ------------------------------------------------------------------ *)
-(* --json [--out FILE]: run the deterministic metrics workload (plus the
-   complexity sweeps) and write the JSON export to FILE, defaulting to
-   BENCH_<date>.json. Only the default file name depends on the host
-   (today's date); the content is purely virtual-clock-derived, so two
-   runs on any machines produce byte-identical JSON. *)
+(* --json [--out FILE] [--smoke]: run the deterministic metrics workload
+   (plus the complexity sweeps) and write the JSON export to FILE,
+   defaulting to BENCH_<date>.json. The default file name depends on the
+   host (today's date), and the appended "throughput" section is real
+   wall-clock ops/sec (--smoke shrinks its workloads); everything else is
+   purely virtual-clock-derived and byte-identical across machines —
+   which is why bench-diff gates on those sections and only reports on
+   throughput. *)
+
+let smoke () = Array.exists (( = ) "--smoke") Sys.argv
 
 let run_json () =
   let rec out_arg = function
@@ -130,7 +135,13 @@ let run_json () =
       Printf.sprintf "BENCH_%04d-%02d-%02d.json" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
         tm.Unix.tm_mday
   in
-  let json = Experiments.Exp_metrics.run_to_json ~events_limit:256 () in
+  let json =
+    match Experiments.Exp_metrics.run_to_json ~events_limit:256 () with
+    | Sim.Json.Obj fields ->
+      Sim.Json.Obj
+        (fields @ [ ("throughput", Experiments.Exp_throughput.to_json ~smoke:(smoke ()) ()) ])
+    | other -> other
+  in
   let oc = open_out file in
   output_string oc (Sim.Json.to_string ~pretty:true json);
   output_char oc '\n';
@@ -139,6 +150,8 @@ let run_json () =
 
 let () =
   if Array.exists (( = ) "--json") Sys.argv then run_json ()
+  else if Array.exists (( = ) "--throughput") Sys.argv then
+    Experiments.Exp_throughput.run ~smoke:(smoke ()) ()
   else begin
     run_tables ();
     run_bechamel ();

@@ -167,7 +167,7 @@ let metrics_cmd =
 
 (* Exit codes: 0 = no regression, 1 = regression or class downgrade,
    2 = documents unreadable or incomparable (schema/provenance). *)
-let bench_diff old_file new_file threshold =
+let bench_diff old_file new_file threshold gate_throughput =
   let read f =
     let ic = open_in_bin f in
     Fun.protect
@@ -188,7 +188,7 @@ let bench_diff old_file new_file threshold =
   in
   let old_doc = parse old_file in
   let new_doc = parse new_file in
-  match Sim.Regress.compare_docs ~threshold_pct:threshold ~old_doc ~new_doc () with
+  match Sim.Regress.compare_docs ~threshold_pct:threshold ~gate_throughput ~old_doc ~new_doc () with
   | Error reason ->
     Printf.eprintf "bench-diff: %s\n" reason;
     exit 2
@@ -208,7 +208,16 @@ let bench_diff_cmd =
       value & opt float 10.0
       & info [ "threshold" ] ~docv:"PCT" ~doc:"Allowed counter/latency drift in percent.")
   in
-  Cmd.v (Cmd.info "bench-diff" ~doc) Term.(const bench_diff $ old_arg $ new_arg $ threshold)
+  let gate_throughput =
+    Arg.(
+      value & flag
+      & info [ "gate-throughput" ]
+          ~doc:
+            "Fail on wall-clock throughput drops too. Off by default: real-time ops/sec is \
+             machine- and load-dependent, so it is reported but never gates.")
+  in
+  Cmd.v (Cmd.info "bench-diff" ~doc)
+    Term.(const bench_diff $ old_arg $ new_arg $ threshold $ gate_throughput)
 
 (* ----------------------------- churn ------------------------------- *)
 

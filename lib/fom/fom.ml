@@ -160,7 +160,7 @@ let map_path t proc ?prot ?strategy path =
   Sim.Trace.record (trace t) ~op:"fom_map" ~start ~arg:len ();
   region
 
-let remove_mapping t (proc : Os.Proc.t) region =
+let remove_mapping ?batch t (proc : Os.Proc.t) region =
   let prot = region.prot in
   let aspace = proc.Os.Proc.aspace in
   let table = Os.Address_space.page_table aspace in
@@ -194,25 +194,29 @@ let remove_mapping t (proc : Os.Proc.t) region =
           (match rtlb with Some rtlb -> Hw.Range_tlb.invalidate rtlb ~base | None -> ());
           ignore (Hw.Range_table.remove rt ~base))
         !bases));
-  Hw.Mmu.invalidate_range (Os.Address_space.mmu aspace) ~va:region.va ~len:region.len
+  (* Ungraft feeds the caller's shootdown batch when one is in flight
+     (process exit); otherwise invalidate immediately as before. *)
+  match batch with
+  | Some b -> Hw.Tlb_batch.add b ~va:region.va ~len:region.len
+  | None -> Hw.Mmu.invalidate_range (Os.Address_space.mmu aspace) ~va:region.va ~len:region.len
 
-let unmap t (proc : Os.Proc.t) region =
+let unmap ?batch t (proc : Os.Proc.t) region =
   let start = now t in
   charge_syscall t;
   (match Hashtbl.find_opt t.regions (proc.Os.Proc.pid, region.va) with
   | None -> invalid_arg "Fom.unmap: unknown region"
   | Some _ -> ());
   ignore (Fs.Memfs.inode t.fs region.ino);
-  remove_mapping t proc region;
+  remove_mapping ?batch t proc region;
   Hashtbl.remove t.regions (proc.Os.Proc.pid, region.va);
   Fs.Memfs.close_file t.fs region.ino;
   Sim.Stats.incr (Os.Kernel.stats t.kernel) "fom_unmap";
   Sim.Trace.record (trace t) ~op:"fom_unmap" ~start ~arg:region.len ()
 
-let free t proc region =
+let free ?batch t proc region =
   (* Capture before unmap: close_file may reap an already-unlinked file. *)
   let was_temp = region.temp && Fs.Memfs.lookup t.fs region.path = Some region.ino in
-  unmap t proc region;
+  unmap ?batch t proc region;
   if was_temp then begin
     Shared_pt.drop_masters_for t.shared_pt ~ino:region.ino;
     Fs.Memfs.unlink t.fs region.path
@@ -373,7 +377,11 @@ let launch t ~code_bytes ~heap_bytes ~stack_bytes =
   (proc, [ code; heap; stack ])
 
 let exit_process t proc =
-  List.iter (fun r -> free t proc r) (regions_of t proc);
+  (* Gather every region's shootdown into one batch: exit pays one flush
+     no matter how many files the process had mapped. *)
+  let batch = Hw.Tlb_batch.create (Os.Address_space.mmu proc.Os.Proc.aspace) in
+  List.iter (fun r -> free ~batch t proc r) (regions_of t proc);
+  Hw.Tlb_batch.flush batch;
   Os.Kernel.exit_process t.kernel proc
 
 let reset_after_crash t =

@@ -63,12 +63,14 @@ val map_path : t -> Os.Proc.t -> ?prot:Hw.Prot.t -> ?strategy:strategy -> string
     protection). Two processes mapping the same file under
     [Shared_subtree] share the master's page-table nodes. *)
 
-val unmap : t -> Os.Proc.t -> region -> unit
+val unmap : ?batch:Hw.Tlb_batch.t -> t -> Os.Proc.t -> region -> unit
 (** Whole-file unmap: drop grafts / range entries / PTEs and the file
     reference. Memory is reclaimed only here or at process exit — there
-    is no background reclaim to pay for. *)
+    is no background reclaim to pay for. With [batch] the final TLB
+    invalidation is gathered into it instead of issued immediately, so a
+    caller tearing down many regions flushes once. *)
 
-val free : t -> Os.Proc.t -> region -> unit
+val free : ?batch:Hw.Tlb_batch.t -> t -> Os.Proc.t -> region -> unit
 (** {!unmap}, then delete the file if it was a temporary. *)
 
 val access : t -> Os.Proc.t -> va:int -> write:bool -> unit
@@ -124,7 +126,8 @@ val launch :
 
 val exit_process : t -> Os.Proc.t -> unit
 (** Unmap all the process's regions (freeing temporaries) and tear the
-    process down. *)
+    process down. All the regions' shootdowns are gathered into a single
+    {!Hw.Tlb_batch} flushed once. *)
 
 (**/**)
 

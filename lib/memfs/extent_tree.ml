@@ -30,24 +30,24 @@ let insert t (e : Extent.t) =
 
 let truncate_to t ~pages =
   if pages < 0 then invalid_arg "Extent_tree.truncate_to: negative size";
-  let cut = ref [] in
-  let keep = ref IntMap.empty in
-  IntMap.iter
-    (fun k (e : Extent.t) ->
-      if Extent.logical_end e <= pages then keep := IntMap.add k e !keep
-      else if e.logical >= pages then cut := e :: !cut
-      else begin
-        (* Split: head stays, tail is cut. *)
-        let head_count = pages - e.logical in
-        keep := IntMap.add k { e with count = head_count } !keep;
-        cut :=
-          { Extent.logical = pages; start = e.start + head_count; count = e.count - head_count }
-          :: !cut
-      end)
-    t.by_logical;
-  t.by_logical <- !keep;
+  (* Split at the cut point: only the boundary extent needs inspection,
+     everything below [pages] is kept untouched. *)
+  let keep, at, above = IntMap.split pages t.by_logical in
+  let cut = match at with Some e -> e :: List.map snd (IntMap.bindings above)
+                        | None -> List.map snd (IntMap.bindings above) in
+  let keep, cut =
+    match IntMap.max_binding_opt keep with
+    | Some (k, (e : Extent.t)) when Extent.logical_end e > pages ->
+      (* Straddling extent: head stays, tail is cut. *)
+      let head_count = pages - e.logical in
+      (IntMap.add k { e with count = head_count } keep,
+       { Extent.logical = pages; start = e.start + head_count; count = e.count - head_count }
+       :: cut)
+    | _ -> (keep, cut)
+  in
+  t.by_logical <- keep;
   t.pages <- min t.pages pages;
-  List.rev !cut
+  cut
 
 let find_extent t ~page =
   match IntMap.find_last_opt (fun k -> k <= page) t.by_logical with

@@ -311,6 +311,8 @@ let extend t ino ~bytes_wanted =
                 | None -> ()
             in
             drain count;
+            Sim.Stats.add (stats t) "zero_cache_hit" !covered;
+            Sim.Stats.add (stats t) "zero_cache_miss" (count - !covered);
             for pfn = first to first + count - 1 - !covered do
               Physmem.Zero_engine.eager_zero t.zero pfn
             done;

@@ -31,6 +31,9 @@ let table t = t.table
 let range_table t = t.range_table
 let tlb t = t.tlb
 let range_tlb t = t.range_tlb
+let clock t = t.clock
+let stats t = t.stats
+let trace t = t.trace
 
 let check_prot prot ~write ~exec = Prot.allows prot ~write ~exec
 

@@ -22,6 +22,9 @@ val table : t -> Page_table.t
 val range_table : t -> Range_table.t option
 val tlb : t -> Tlb.t
 val range_tlb : t -> Range_tlb.t option
+val clock : t -> Sim.Clock.t
+val stats : t -> Sim.Stats.t
+val trace : t -> Sim.Trace.t
 
 val translate : t -> va:int -> write:bool -> exec:bool -> (int, fault) result
 (** Translate one access, charging TLB probe / walk costs and maintaining

@@ -1,59 +1,100 @@
+module IntMap = Map.Make (Int)
+
+(* Entries are kept in two interval-ordered maps: [by_base] for O(log n)
+   point lookup and overlap eviction, [by_tick] for O(log n) LRU victim
+   selection. Cached ranges are pairwise disjoint (insert evicts
+   overlaps), so a point query is one predecessor probe. *)
 type t = {
   clock : Sim.Clock.t;
   stats : Sim.Stats.t;
   trace : Sim.Trace.t;
   capacity : int;
-  mutable entries : Range_table.entry list; (* MRU first *)
+  mutable by_base : (Range_table.entry * int) IntMap.t; (* base -> entry, tick *)
+  mutable by_tick : int IntMap.t; (* tick -> base; min tick = LRU *)
+  mutable tick : int;
 }
 
 let create ~clock ~stats ?(trace = Sim.Trace.disabled) ?(entries = 32) () =
   if entries <= 0 then invalid_arg "Range_tlb.create: no capacity";
-  { clock; stats; trace; capacity = entries; entries = [] }
+  {
+    clock;
+    stats;
+    trace;
+    capacity = entries;
+    by_base = IntMap.empty;
+    by_tick = IntMap.empty;
+    tick = 0;
+  }
 
 let capacity t = t.capacity
 
 let model t = Sim.Clock.model t.clock
 
+let touch t =
+  t.tick <- t.tick + 1;
+  t.tick
+
+let drop t ~base ~tick =
+  t.by_base <- IntMap.remove base t.by_base;
+  t.by_tick <- IntMap.remove tick t.by_tick
+
 let lookup t ~va =
   let start = Sim.Clock.now t.clock in
   Sim.Clock.charge t.clock (model t).Sim.Cost_model.tlb_hit;
   let hit =
-    List.find_opt
-      (fun (e : Range_table.entry) -> va >= e.base && va < e.base + e.limit)
-      t.entries
+    match IntMap.find_last_opt (fun base -> base <= va) t.by_base with
+    | Some (base, ((e : Range_table.entry), tick)) when va < e.base + e.limit ->
+      let now = touch t in
+      t.by_tick <- IntMap.add now base (IntMap.remove tick t.by_tick);
+      t.by_base <- IntMap.add base (e, now) t.by_base;
+      Some e
+    | _ -> None
   in
   (match hit with
-  | Some e ->
-    t.entries <- e :: List.filter (fun x -> x != e) t.entries;
-    Sim.Stats.incr t.stats "range_tlb_hit"
+  | Some _ -> Sim.Stats.incr t.stats "range_tlb_hit"
   | None -> Sim.Stats.incr t.stats "range_tlb_miss");
   Sim.Trace.record t.trace ~op:"range_tlb_lookup" ~start
     ~outcome:(match hit with Some _ -> "hit" | None -> "miss")
     ();
   hit
 
-let overlaps (a : Range_table.entry) (b : Range_table.entry) =
-  a.base < b.base + b.limit && b.base < a.base + a.limit
-
-let insert t e =
+let insert t (e : Range_table.entry) =
   (* Evict anything overlapping the new range, not just an equal base — a
-     stale overlapping entry would otherwise keep winning lookups. *)
-  let without = List.filter (fun x -> not (overlaps x e)) t.entries in
-  let trimmed =
-    if List.length without >= t.capacity then List.filteri (fun i _ -> i < t.capacity - 1) without
-    else without
+     stale overlapping entry would otherwise keep winning lookups. Cached
+     ranges are disjoint, so overlaps are the base-order predecessor plus
+     a run of successors starting inside [e]. *)
+  (match IntMap.find_last_opt (fun base -> base < e.base) t.by_base with
+  | Some (base, ((prev : Range_table.entry), tick)) when prev.base + prev.limit > e.base ->
+    drop t ~base ~tick
+  | _ -> ());
+  let rec evict_from lo =
+    match IntMap.find_first_opt (fun base -> base >= lo) t.by_base with
+    | Some (base, (_, tick)) when base < e.base + e.limit ->
+      drop t ~base ~tick;
+      evict_from (base + 1)
+    | _ -> ()
   in
-  t.entries <- e :: trimmed
+  evict_from e.base;
+  while IntMap.cardinal t.by_base >= t.capacity do
+    let tick, base = IntMap.min_binding t.by_tick in
+    drop t ~base ~tick
+  done;
+  let now = touch t in
+  t.by_base <- IntMap.add e.base (e, now) t.by_base;
+  t.by_tick <- IntMap.add now e.base t.by_tick
 
 let invalidate t ~base =
   let start = Sim.Clock.now t.clock in
   Sim.Clock.charge t.clock (Sim.Cost_model.shootdown_cost (model t));
   Sim.Stats.incr t.stats "range_tlb_shootdown";
-  t.entries <- List.filter (fun (e : Range_table.entry) -> e.base <> base) t.entries;
+  (match IntMap.find_opt base t.by_base with
+  | Some (_, tick) -> drop t ~base ~tick
+  | None -> ());
   Sim.Trace.record t.trace ~op:"range_tlb_shootdown" ~start ~arg:1 ()
 
 let flush t =
   Sim.Clock.charge t.clock (Sim.Cost_model.shootdown_cost (model t));
-  t.entries <- []
+  t.by_base <- IntMap.empty;
+  t.by_tick <- IntMap.empty
 
-let entry_count t = List.length t.entries
+let entry_count t = IntMap.cardinal t.by_base

@@ -2,7 +2,9 @@
     (Figure 4/9). One entry covers an arbitrarily large contiguous range,
     so a handful of entries can translate terabytes — the hardware half
     of the paper's O(1) story. Default 32 entries, as proposed for
-    Redundant Memory Mappings. *)
+    Redundant Memory Mappings. Backed by interval-ordered maps keyed by
+    base, so lookup, insert and overlap eviction are O(log entries)
+    rather than O(entries). *)
 
 type t
 

@@ -1,4 +1,14 @@
-type entry = { tag : int; size : Page_size.t; pfn : Physmem.Frame.t; prot : Prot.t }
+(* Each set is a fixed array of [ways] slots with a per-slot LRU clock:
+   lookup, insert and eviction are all O(ways) array scans with no list
+   allocation — the O(1) hot path the rest of the simulator leans on. *)
+type slot = {
+  mutable valid : bool;
+  mutable tag : int;
+  mutable size : Page_size.t;
+  mutable pfn : Physmem.Frame.t;
+  mutable prot : Prot.t;
+  mutable used : int; (* global tick of last touch; smallest = LRU *)
+}
 
 type t = {
   clock : Sim.Clock.t;
@@ -6,18 +16,33 @@ type t = {
   trace : Sim.Trace.t;
   sets : int;
   ways : int;
-  (* sets.(s) holds up to [ways] entries, MRU first. *)
-  data : entry list array;
+  data : slot array array;
+  mutable tick : int;
 }
 
 let create ~clock ~stats ?(trace = Sim.Trace.disabled) ?(sets = 128) ?(ways = 8) () =
   if sets <= 0 || ways <= 0 || not (Sim.Units.is_power_of_two sets) then
     invalid_arg "Tlb.create: sets must be a positive power of two";
-  { clock; stats; trace; sets; ways; data = Array.make sets [] }
+  let mk_slot _ =
+    { valid = false; tag = 0; size = Page_size.Small; pfn = 0; prot = Prot.r; used = 0 }
+  in
+  {
+    clock;
+    stats;
+    trace;
+    sets;
+    ways;
+    data = Array.init sets (fun _ -> Array.init ways mk_slot);
+    tick = 0;
+  }
 
 let capacity t = t.sets * t.ways
 
 let model t = Sim.Clock.model t.clock
+
+let touch t =
+  t.tick <- t.tick + 1;
+  t.tick
 
 (* Tag = VA with in-page bits cleared for the entry's page size; the set
    index mixes in the size so different sizes coexist predictably. *)
@@ -29,22 +54,28 @@ let set_of t va size =
 
 let sizes = [ Page_size.Small; Page_size.Huge_2m; Page_size.Huge_1g ]
 
+let find_slot t va size =
+  let set = t.data.(set_of t va size) in
+  let tag = tag_of va size in
+  let found = ref None in
+  for i = 0 to t.ways - 1 do
+    let s = set.(i) in
+    if !found = None && s.valid && s.tag = tag && s.size = size then found := Some s
+  done;
+  !found
+
 let lookup t ~va =
   let start = Sim.Clock.now t.clock in
   Sim.Clock.charge t.clock (model t).Sim.Cost_model.tlb_hit;
   let found = ref None in
   List.iter
     (fun size ->
-      if !found = None then begin
-        let s = set_of t va size in
-        let tag = tag_of va size in
-        match List.find_opt (fun e -> e.tag = tag && e.size = size) t.data.(s) with
-        | Some e ->
-          (* Move to MRU position. *)
-          t.data.(s) <- e :: List.filter (fun x -> x != e) t.data.(s);
-          found := Some (e.pfn, e.prot, e.size)
-        | None -> ()
-      end)
+      if !found = None then
+        match find_slot t va size with
+        | Some s ->
+          s.used <- touch t;
+          found := Some (s.pfn, s.prot, s.size)
+        | None -> ())
     sizes;
   (match !found with
   | Some _ -> Sim.Stats.incr t.stats "tlb_hit"
@@ -55,35 +86,56 @@ let lookup t ~va =
   !found
 
 let insert t ~va ~pfn ~prot ~size =
-  let s = set_of t va size in
+  let set = t.data.(set_of t va size) in
   let tag = tag_of va size in
-  let without = List.filter (fun e -> not (e.tag = tag && e.size = size)) t.data.(s) in
-  let trimmed =
-    if List.length without >= t.ways then
-      (* Drop LRU (last). *)
-      List.filteri (fun i _ -> i < t.ways - 1) without
-    else without
-  in
-  t.data.(s) <- { tag; size; pfn; prot } :: trimmed
+  (* Reuse a matching or invalid slot; otherwise evict the LRU slot. *)
+  let victim = ref set.(0) in
+  let exception Found in
+  (try
+     for i = 0 to t.ways - 1 do
+       let s = set.(i) in
+       if s.valid && s.tag = tag && s.size = size then begin
+         victim := s;
+         raise Found
+       end;
+       if not s.valid then begin
+         if !victim.valid then victim := s
+       end
+       else if !victim.valid && s.used < !victim.used then victim := s
+     done
+   with Found -> ());
+  let s = !victim in
+  if s.valid && not (s.tag = tag && s.size = size) then
+    Sim.Stats.incr t.stats "tlb_evictions";
+  s.valid <- true;
+  s.tag <- tag;
+  s.size <- size;
+  s.pfn <- pfn;
+  s.prot <- prot;
+  s.used <- touch t
 
 let invalidate_page t ~va =
   let start = Sim.Clock.now t.clock in
   Sim.Clock.charge t.clock (Sim.Cost_model.shootdown_cost (model t));
   Sim.Stats.incr t.stats "tlb_shootdown";
   List.iter
-    (fun size ->
-      let s = set_of t va size in
-      let tag = tag_of va size in
-      t.data.(s) <- List.filter (fun e -> not (e.tag = tag && e.size = size)) t.data.(s))
+    (fun size -> match find_slot t va size with Some s -> s.valid <- false | None -> ())
     sizes;
   Sim.Trace.record t.trace ~op:"tlb_shootdown" ~start ~arg:1 ()
 
+let entry_count t =
+  Array.fold_left
+    (fun acc set -> Array.fold_left (fun acc s -> if s.valid then acc + 1 else acc) acc set)
+    0 t.data
+
+let clear t = Array.iter (fun set -> Array.iter (fun s -> s.valid <- false) set) t.data
+
 let flush t =
   let start = Sim.Clock.now t.clock in
-  let had = Array.fold_left (fun acc l -> acc + List.length l) 0 t.data in
+  let had = entry_count t in
   Sim.Clock.charge t.clock (Sim.Cost_model.shootdown_cost (model t));
   Sim.Stats.incr t.stats "tlb_flush";
-  Array.fill t.data 0 t.sets [];
+  clear t;
   Sim.Trace.record t.trace ~op:"tlb_flush" ~start ~arg:had ()
 
 (* Beyond this many pages Linux stops issuing per-page INVLPGs and just
@@ -100,16 +152,15 @@ let invalidate_range t ~va ~len =
     Sim.Clock.charge t.clock (pages * Sim.Cost_model.shootdown_cost (model t));
     Sim.Stats.add t.stats "tlb_shootdown" pages;
     let lo = va and hi = va + len in
-    Array.iteri
-      (fun s entries ->
-        t.data.(s) <-
-          List.filter
-            (fun e ->
-              let e_lo = e.tag and e_hi = e.tag + Page_size.bytes e.size in
-              e_hi <= lo || e_lo >= hi)
-            entries)
+    Array.iter
+      (fun set ->
+        Array.iter
+          (fun s ->
+            if s.valid then begin
+              let e_lo = s.tag and e_hi = s.tag + Page_size.bytes s.size in
+              if not (e_hi <= lo || e_lo >= hi) then s.valid <- false
+            end)
+          set)
       t.data;
     Sim.Trace.record t.trace ~op:"tlb_shootdown" ~start ~arg:pages ()
   end
-
-let entry_count t = Array.fold_left (fun acc l -> acc + List.length l) 0 t.data

@@ -1,8 +1,9 @@
 (** Set-associative translation lookaside buffer.
 
-    Tags are (virtual page number, page size); each set is LRU-ordered.
-    The default geometry approximates a Haswell-class L2 STLB: 128 sets,
-    8 ways, 1024 entries. *)
+    Tags are (virtual page number, page size); each set is a fixed array
+    of ways with per-slot LRU clocks, so lookup, fill and eviction are
+    O(ways) with no allocation. The default geometry approximates a
+    Haswell-class L2 STLB: 128 sets, 8 ways, 1024 entries. *)
 
 type t
 
@@ -25,7 +26,9 @@ val lookup : t -> va:int -> (Physmem.Frame.t * Prot.t * Page_size.t) option
     refill, see {!Mmu}). *)
 
 val insert : t -> va:int -> pfn:Physmem.Frame.t -> prot:Prot.t -> size:Page_size.t -> unit
-(** Fill after a walk, evicting the set's LRU entry if full. *)
+(** Fill after a walk, evicting the set's LRU entry if full. Each
+    eviction of a live entry bumps "tlb_evictions"; re-filling an
+    already-resident page or taking a free slot does not. *)
 
 val invalidate_page : t -> va:int -> unit
 (** Drop any entry covering [va] (all page sizes probed); charges the
@@ -43,3 +46,8 @@ val flush : t -> unit
     shootdown. *)
 
 val entry_count : t -> int
+
+val full_flush_threshold_pages : int
+(** Ranges of at least this many pages are invalidated with one full
+    flush rather than per-page INVLPGs (Linux's tlb_single_page_flush
+    ceiling: 33). *)

@@ -1,0 +1,31 @@
+type t = {
+  mmu : Mmu.t;
+  mutable ranges : (int * int) list; (* (va, len), reverse accumulation order *)
+  mutable pages : int;
+}
+
+let create mmu = { mmu; ranges = []; pages = 0 }
+
+let add t ~va ~len =
+  if len > 0 then begin
+    t.ranges <- (va, len) :: t.ranges;
+    t.pages <- t.pages + Sim.Units.pages_of_bytes len
+  end
+
+let pages t = t.pages
+
+let flush t =
+  if t.pages > 0 then begin
+    let clock = Mmu.clock t.mmu in
+    let start = Sim.Clock.now clock in
+    let full = t.pages >= Tlb.full_flush_threshold_pages in
+    if full then Mmu.flush_tlbs t.mmu
+    else List.iter (fun (va, len) -> Mmu.invalidate_range t.mmu ~va ~len) t.ranges;
+    Sim.Stats.incr (Mmu.stats t.mmu) "tlb_batch";
+    Sim.Stats.add (Mmu.stats t.mmu) "tlb_batch_pages" t.pages;
+    Sim.Trace.record (Mmu.trace t.mmu) ~op:"tlb_batch" ~start ~arg:t.pages
+      ~outcome:(if full then "full_flush" else "invlpg")
+      ();
+    t.ranges <- [];
+    t.pages <- 0
+  end

@@ -15,6 +15,7 @@ type t = {
   ipi : int;
   zero_byte_num : int;
   zero_byte_den : int;
+  zero_cache_pop : int;
   frame_alloc : int;
   struct_page_init : int;
   fs_lookup : int;
@@ -43,6 +44,7 @@ let default =
     ipi = 4000;
     zero_byte_num = 1;
     zero_byte_den = 4;
+    zero_cache_pop = 20;
     frame_alloc = 200;
     struct_page_init = 120;
     fs_lookup = 2400;
@@ -79,6 +81,7 @@ let to_json t =
       ("ipi", Json.Int t.ipi);
       ("zero_byte_num", Json.Int t.zero_byte_num);
       ("zero_byte_den", Json.Int t.zero_byte_den);
+      ("zero_cache_pop", Json.Int t.zero_cache_pop);
       ("frame_alloc", Json.Int t.frame_alloc);
       ("struct_page_init", Json.Int t.struct_page_init);
       ("fs_lookup", Json.Int t.fs_lookup);

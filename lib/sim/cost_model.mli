@@ -23,6 +23,7 @@ type t = {
   ipi : int;  (** Cost of interrupting one remote core for a shootdown. *)
   zero_byte_num : int;  (** Zeroing cost numerator: cycles per... *)
   zero_byte_den : int;  (** ...this many bytes (default 1 cycle / 4 B). *)
+  zero_cache_pop : int;  (** Popping one frame off the pre-zeroed cache (the O(1) handout). *)
   frame_alloc : int;  (** Buddy/physical allocator work per frame. *)
   struct_page_init : int;  (** Initialising per-page kernel metadata. *)
   fs_lookup : int;  (** Path / inode lookup in the memory FS. *)

@@ -139,7 +139,49 @@ let compare_complexity acc old_doc new_doc =
       | None, None -> ())
     (union_keys old_ops new_ops)
 
-let compare_docs ?(threshold_pct = 10.0) ~old_doc ~new_doc () =
+(* Wall-clock ops/sec per scenario: direction is inverted (lower = worse)
+   and the numbers are real time, hence noisy — drops only count as
+   regressions when the caller opts in with [gate]. *)
+let compare_throughput acc ~threshold ~gate old_doc new_doc =
+  let old_scen = fields (path old_doc [ "throughput" ]) in
+  let new_scen = fields (path new_doc [ "throughput" ]) in
+  List.iter
+    (fun scen ->
+      match (List.assoc_opt scen old_scen, List.assoc_opt scen new_scen) with
+      | Some o, Some n -> (
+        match
+          ( Option.bind (Json.member o "ops_per_sec") number,
+            Option.bind (Json.member n "ops_per_sec") number )
+        with
+        | Some fo, Some fn ->
+          acc.n <- acc.n + 1;
+          if fo <> fn then begin
+            let pct =
+              if fo = 0.0 then Float.infinity *. Float.of_int (Stdlib.compare fn fo)
+              else (fn -. fo) /. fo *. 100.0
+            in
+            let status =
+              if Float.abs pct <= threshold then Within
+              else if fn < fo then if gate then Regressed else Within
+              else Improved
+            in
+            emit acc
+              {
+                section = "throughput";
+                key = scen ^ " ops/sec";
+                old_v = show_number fo;
+                new_v = show_number fn;
+                pct = Some pct;
+                status;
+              }
+          end
+        | _ -> ())
+      | Some o, None -> one_sided acc ~section:"throughput" ~key:scen ~status:Removed o
+      | None, Some n -> one_sided acc ~section:"throughput" ~key:scen ~status:Added n
+      | None, None -> ())
+    (union_keys old_scen new_scen)
+
+let compare_docs ?(threshold_pct = 10.0) ?(gate_throughput = false) ~old_doc ~new_doc () =
   let schema d = match Json.member d "schema" with Some (Json.String s) -> Some s | _ -> None in
   match (schema old_doc, schema new_doc) with
   | None, _ | _, None -> Error "missing \"schema\" field: not a metrics document"
@@ -162,6 +204,7 @@ let compare_docs ?(threshold_pct = 10.0) ~old_doc ~new_doc () =
         (fields (Json.member new_doc "stats"));
       compare_latency acc ~threshold:threshold_pct old_doc new_doc;
       compare_complexity acc old_doc new_doc;
+      compare_throughput acc ~threshold:threshold_pct ~gate:gate_throughput old_doc new_doc;
       Ok { threshold_pct; compared = acc.n; deltas = List.rev acc.rows })
 
 let regressions r =

@@ -23,7 +23,7 @@ type status =
 val status_name : status -> string
 
 type delta = {
-  section : string;  (** "counters", "latency", "complexity", "clock" *)
+  section : string;  (** "counters", "latency", "complexity", "clock", "throughput" *)
   key : string;
   old_v : string;
   new_v : string;
@@ -38,9 +38,15 @@ type report = {
 }
 
 val compare_docs :
-  ?threshold_pct:float -> old_doc:Json.t -> new_doc:Json.t -> unit -> (report, string) result
+  ?threshold_pct:float -> ?gate_throughput:bool -> old_doc:Json.t -> new_doc:Json.t ->
+  unit -> (report, string) result
 (** [threshold_pct] defaults to 10. [Error reason] when the documents are
-    incompatible: unequal schemas, or unequal/missing provenance. *)
+    incompatible: unequal schemas, or unequal/missing provenance.
+
+    Wall-clock "throughput" scenarios (ops/sec, lower = worse) are
+    compared report-only by default — real-time numbers are machine- and
+    load-dependent, so a drop is shown but never fails the gate unless
+    [gate_throughput:true]. Complexity-class downgrades always fail. *)
 
 val regressions : report -> delta list
 (** The deltas that fail the gate: [Regressed] and [Downgraded]. *)

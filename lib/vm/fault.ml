@@ -6,6 +6,7 @@ type ctx = {
   buddy : Alloc.Buddy.t;
   swap : Swap.t;
   zero : Physmem.Zero_engine.t;
+  zcache : Alloc.Zero_cache.t;
 }
 
 type kind = Minor | Major
@@ -26,10 +27,14 @@ let raw_frame ctx =
     else None
 
 let fresh_zero_frame ctx =
-  (* Prefer the pre-zeroed pool (O(1)); fall back to allocate + eager zero. *)
-  match Physmem.Zero_engine.take_zeroed ctx.zero with
+  (* Prefer the pre-zeroed cache, then the engine's own pool (both O(1));
+     fall back to allocate + eager zero. *)
+  match Alloc.Zero_cache.take ctx.zcache ~order:0 with
   | Some pfn -> pfn
   | None -> (
+    match Physmem.Zero_engine.take_zeroed ctx.zero with
+    | Some pfn -> pfn
+    | None -> (
     match Alloc.Buddy.alloc ctx.buddy ~order:0 with
     | Some pfn ->
       Physmem.Zero_engine.eager_zero ctx.zero pfn;
@@ -37,7 +42,7 @@ let fresh_zero_frame ctx =
     | None -> (
       match raw_frame ctx with
       | Some pfn -> pfn (* laundered on demand: already zero *)
-      | None -> failwith "OOM"))
+      | None -> failwith "OOM")))
 
 let install ctx aspace ~va ~pfn ~prot =
   Hw.Page_table.map_page (Address_space.page_table aspace)

@@ -12,6 +12,7 @@ type ctx = {
   buddy : Alloc.Buddy.t;  (** DRAM frame source for anonymous pages / CoW *)
   swap : Swap.t;
   zero : Physmem.Zero_engine.t;
+  zcache : Alloc.Zero_cache.t;  (** pre-zeroed frames tried first on anon faults *)
 }
 
 type kind = Minor | Major

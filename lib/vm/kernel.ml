@@ -43,6 +43,7 @@ type t = {
   meta : Page_meta.t;
   buddy : Alloc.Buddy.t;
   zero : Physmem.Zero_engine.t;
+  zcache : Alloc.Zero_cache.t;
   swap : Swap.t;
   reclaim : Reclaim.t;
   tmpfs : Fs.Memfs.t;
@@ -88,6 +89,7 @@ let create ?(config = default_config) () =
   in
   let meta = Page_meta.create ~clock ~stats ~frames:(Phys_mem.total_frames mem) in
   let zero = Physmem.Zero_engine.create mem in
+  let zcache = Alloc.Zero_cache.create ~mem ~engine:zero () in
   let swap =
     let backing =
       match (config.swap_backing, pmfs) with
@@ -109,6 +111,7 @@ let create ?(config = default_config) () =
     meta;
     buddy;
     zero;
+    zcache;
     swap;
     reclaim;
     tmpfs;
@@ -127,6 +130,7 @@ let mem t = t.mem
 let page_meta t = t.meta
 let buddy t = t.buddy
 let zero_engine t = t.zero
+let zero_cache t = t.zcache
 let swap t = t.swap
 let reclaim t = t.reclaim
 let tmpfs t = t.tmpfs
@@ -135,7 +139,16 @@ let pmfs t = t.pmfs
 let userfault t = t.userfault
 
 let fault_ctx t =
-  { Fault.mem = t.mem; meta = t.meta; buddy = t.buddy; swap = t.swap; zero = t.zero }
+  {
+    Fault.mem = t.mem;
+    meta = t.meta;
+    buddy = t.buddy;
+    swap = t.swap;
+    zero = t.zero;
+    zcache = t.zcache;
+  }
+
+let background_zero t ~budget_frames = Alloc.Zero_cache.refill t.zcache ~budget_frames
 
 let charge_boot t = Page_meta.init_range t.meta ~first:0 ~count:(Phys_mem.total_frames t.mem)
 
@@ -197,40 +210,57 @@ let release_page t (vma : Vma.t) ~page_va (leaf : Hw.Page_table.leaf) =
     (* File frames belong to the file system; nothing to free here. *)
     ()
 
+(* Tear down one VMA already removed from its address space: per-page
+   release (the baseline's linear unmap cost), with the TLB invalidation
+   deferred into [batch] — the mmu_gather pattern. *)
+let teardown_vma t (vma : Vma.t) ~table ~batch =
+  let pages = vma.Vma.len / Sim.Units.page_size in
+  for i = 0 to pages - 1 do
+    let page_va = vma.Vma.start + (i * Sim.Units.page_size) in
+    match Hw.Page_table.lookup table ~va:page_va with
+    | Some (_, leaf) when leaf.Hw.Page_table.size = Hw.Page_size.Small ->
+      release_page t vma ~page_va leaf;
+      Hw.Page_table.unmap_page table ~va:page_va
+    | Some (_, leaf) ->
+      (* Huge leaf: unmap once at its base. *)
+      let span = Hw.Page_size.bytes leaf.Hw.Page_table.size in
+      if Sim.Units.is_aligned page_va ~align:span then begin
+        release_page t vma ~page_va leaf;
+        Hw.Page_table.unmap_page table ~va:page_va
+      end
+    | None -> ()
+  done;
+  Hw.Tlb_batch.add batch ~va:vma.Vma.start ~len:vma.Vma.len;
+  match vma.Vma.backing with
+  | Vma.File { fs; ino; _ } -> Fs.Memfs.close_file fs ino
+  | Vma.Anon -> ()
+
 let munmap t proc ~va ~len =
   charge_syscall t;
   let aspace = proc.Proc.aspace in
   let table = Address_space.page_table aspace in
   let removed = Address_space.remove_range aspace ~start:va ~len in
-  List.iter
-    (fun (vma : Vma.t) ->
-      (* Per-page teardown: the baseline's linear unmap cost. *)
-      let pages = vma.Vma.len / Sim.Units.page_size in
-      for i = 0 to pages - 1 do
-        let page_va = vma.Vma.start + (i * Sim.Units.page_size) in
-        match Hw.Page_table.lookup table ~va:page_va with
-        | Some (_, leaf) when leaf.Hw.Page_table.size = Hw.Page_size.Small ->
-          release_page t vma ~page_va leaf;
-          Hw.Page_table.unmap_page table ~va:page_va
-        | Some (_, leaf) ->
-          (* Huge leaf: unmap once at its base. *)
-          let span = Hw.Page_size.bytes leaf.Hw.Page_table.size in
-          if Sim.Units.is_aligned page_va ~align:span then begin
-            release_page t vma ~page_va leaf;
-            Hw.Page_table.unmap_page table ~va:page_va
-          end
-        | None -> ()
-      done;
-      match vma.Vma.backing with
-      | Vma.File { fs; ino; _ } -> Fs.Memfs.close_file fs ino
-      | Vma.Anon -> ())
-    removed;
-  Hw.Mmu.invalidate_range (Address_space.mmu aspace) ~va ~len
+  let batch = Hw.Tlb_batch.create (Address_space.mmu aspace) in
+  List.iter (fun vma -> teardown_vma t vma ~table ~batch) removed;
+  (* One shootdown pass for the whole span, VMA count notwithstanding. *)
+  Hw.Tlb_batch.flush batch
 
 let exit_process t proc =
-  let vmas = ref [] in
-  Address_space.iter_vmas proc.Proc.aspace (fun v -> vmas := v :: !vmas);
-  List.iter (fun (v : Vma.t) -> munmap t proc ~va:v.Vma.start ~len:v.Vma.len) !vmas;
+  charge_syscall t;
+  let aspace = proc.Proc.aspace in
+  let table = Address_space.page_table aspace in
+  let lo = ref max_int and hi = ref min_int in
+  Address_space.iter_vmas aspace (fun (v : Vma.t) ->
+      lo := min !lo v.Vma.start;
+      hi := max !hi (v.Vma.start + v.Vma.len));
+  if !lo < !hi then begin
+    (* One range removal spanning every VMA, then one batched flush: exit
+       pays O(1) shootdowns no matter how fragmented the address space. *)
+    let removed = Address_space.remove_range aspace ~start:!lo ~len:(!hi - !lo) in
+    let batch = Hw.Tlb_batch.create (Address_space.mmu aspace) in
+    List.iter (fun vma -> teardown_vma t vma ~table ~batch) removed;
+    Hw.Tlb_batch.flush batch
+  end;
   proc.Proc.alive <- false;
   Hashtbl.remove t.procs proc.Proc.pid
 

@@ -45,11 +45,21 @@ val mem : t -> Physmem.Phys_mem.t
 val page_meta : t -> Page_meta.t
 val buddy : t -> Alloc.Buddy.t
 val zero_engine : t -> Physmem.Zero_engine.t
+
+val zero_cache : t -> Alloc.Zero_cache.t
+(** Per-order cache of pre-zeroed frames in front of the zero engine;
+    anonymous faults and populate paths try it first. Refill it from
+    idle time with {!background_zero}. *)
+
 val swap : t -> Swap.t
 val reclaim : t -> Reclaim.t
 val tmpfs : t -> Fs.Memfs.t
 val pmfs : t -> Fs.Memfs.t option
 val fault_ctx : t -> Fault.ctx
+
+val background_zero : t -> budget_frames:int -> int
+(** Housekeeping step: zero up to [budget_frames] dirty frames and stash
+    them in the {!zero_cache} for O(1) handout. Returns frames zeroed. *)
 
 val charge_boot : t -> unit
 (** Charge the boot-time per-page metadata initialisation for the whole
@@ -63,7 +73,10 @@ val create_process : t -> ?range_translations:bool -> unit -> Proc.t
     range TLB in addition to its radix page table. *)
 
 val exit_process : t -> Proc.t -> unit
-(** Tear down every mapping and mark the process dead. *)
+(** Tear down every mapping and mark the process dead. Per-page PTE and
+    frame release still happen, but all TLB invalidation is gathered into
+    one {!Hw.Tlb_batch} flushed at the end — one shootdown pass (or one
+    full flush) regardless of how many VMAs the process had. *)
 
 val process_count : t -> int
 
@@ -83,8 +96,9 @@ val mmap_file :
 (** Map a file (whole file by default). Takes a reference on the file. *)
 
 val munmap : t -> Proc.t -> va:int -> len:int -> unit
-(** Unmap a range: per-page PTE teardown, TLB shootdown, frame release —
-    the baseline's linear unmap. *)
+(** Unmap a range: per-page PTE teardown and frame release — the
+    baseline's linear unmap — but shootdowns for all removed VMAs are
+    batched into a single flush ({!Hw.Tlb_batch}). *)
 
 val mprotect : t -> Proc.t -> va:int -> len:int -> prot:Hw.Prot.t -> unit
 

@@ -43,7 +43,20 @@ let current e =
 
 let examine_cost = 50
 
-let evict t e (leaf : Hw.Page_table.leaf) =
+(* One shootdown batch per distinct address space touched during a scan:
+   evictions only gather ranges here, and the scan flushes each batch
+   once at the end instead of paying one shootdown per evicted page. *)
+let batch_for batches aspace =
+  match List.find_opt (fun (a, _) -> a == aspace) !batches with
+  | Some (_, b) -> b
+  | None ->
+    let b = Hw.Tlb_batch.create (Address_space.mmu aspace) in
+    batches := (aspace, b) :: !batches;
+    b
+
+let flush_batches batches = List.iter (fun (_, b) -> Hw.Tlb_batch.flush b) !batches
+
+let evict t e (leaf : Hw.Page_table.leaf) ~batch =
   let table = Address_space.page_table e.aspace in
   if leaf.Hw.Page_table.dirty then begin
     Swap.swap_out t.swap ~key:(e.pid, e.va) ~pfn:e.pfn;
@@ -51,7 +64,7 @@ let evict t e (leaf : Hw.Page_table.leaf) =
   end
   else Sim.Stats.incr (stats t) "reclaim_dropped";
   Hw.Page_table.unmap_page table ~va:e.va;
-  Hw.Tlb.invalidate_page (Hw.Mmu.tlb (Address_space.mmu e.aspace)) ~va:e.va;
+  Hw.Tlb_batch.add batch ~va:e.va ~len:Sim.Units.page_size;
   Page_meta.dec_mapcount t.meta e.pfn;
   Page_meta.put_page t.meta e.pfn;
   Page_meta.set_flag t.meta e.pfn Page_meta.Lru false;
@@ -61,6 +74,7 @@ let evict t e (leaf : Hw.Page_table.leaf) =
 
 let scan_clock t ~target_frames =
   let reclaimed = ref 0 in
+  let batches = ref [] in
   let budget = ref (4 * (Queue.length t.inactive + 1)) in
   while !reclaimed < target_frames && (not (Queue.is_empty t.inactive)) && !budget > 0 do
     decr budget;
@@ -77,14 +91,16 @@ let scan_clock t ~target_frames =
         Queue.add e t.inactive
       end
       else begin
-        evict t e leaf;
+        evict t e leaf ~batch:(batch_for batches e.aspace);
         incr reclaimed
       end
   done;
+  flush_batches batches;
   !reclaimed
 
 let scan_two_q t ~target_frames =
   let reclaimed = ref 0 in
+  let batches = ref [] in
   let budget = ref (4 * (Queue.length t.inactive + Queue.length t.active + 1)) in
   while !reclaimed < target_frames
         && (not (Queue.is_empty t.inactive && Queue.is_empty t.active))
@@ -120,11 +136,12 @@ let scan_two_q t ~target_frames =
           Queue.add e t.active
         end
         else begin
-          evict t e leaf;
+          evict t e leaf ~batch:(batch_for batches e.aspace);
           incr reclaimed
         end
     end
   done;
+  flush_batches batches;
   !reclaimed
 
 let scan t ~target_frames =

@@ -7,6 +7,7 @@ let () =
       ("physmem", Test_physmem.suite);
       ("alloc", Test_alloc.suite);
       ("mmu", Test_mmu.suite);
+      ("fastpath", Test_fastpath.suite);
       ("memfs", Test_memfs.suite);
       ("os", Test_os.suite);
       ("fom", Test_fom.suite);

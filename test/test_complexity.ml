@@ -95,8 +95,8 @@ let test_fit_to_json () =
 
 (* ------------------------------- regression gate ------------------------------- *)
 
-(* A minimal metrics document in the o1mem.metrics/2 shape. *)
-let doc ?(schema = "o1mem.metrics/2") ?(capacity = 1024) ?(clock = 100_000) ?(counters = [])
+(* A minimal metrics document in the o1mem.metrics/3 shape. *)
+let doc ?(schema = "o1mem.metrics/3") ?(capacity = 1024) ?(clock = 100_000) ?(counters = [])
     ?(ops = []) ?(complexity = []) () =
   Sim.Json.Obj
     [
@@ -211,7 +211,7 @@ let test_regress_incompatible () =
   check_bool "provenance mismatch" true (fails base (doc ~capacity:2048 ()));
   check_bool "provenance missing on one side" true
     (fails base
-       (Sim.Json.Obj [ ("schema", Sim.Json.String "o1mem.metrics/2"); ("clock_cycles", Sim.Json.Int 1) ]));
+       (Sim.Json.Obj [ ("schema", Sim.Json.String "o1mem.metrics/3"); ("clock_cycles", Sim.Json.Int 1) ]));
   check_bool "self compare still fine" true (not (fails base (doc ())))
 
 let test_regress_render_table () =
