@@ -41,4 +41,10 @@ bench-diff:
 throughput:
 	dune exec bench/main.exe -- --throughput
 
-.PHONY: all test test-verbose bench examples clean check bench-diff throughput
+# P1 cycle-attribution call trees for the churn workload, both heap
+# backends (see EXPERIMENTS.md "P1 — where do the cycles go?").
+profile:
+	dune exec bin/o1mem_cli.exe -- profile --backend malloc
+	dune exec bin/o1mem_cli.exe -- profile --backend fom
+
+.PHONY: all test test-verbose bench examples clean check bench-diff throughput profile

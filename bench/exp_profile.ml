@@ -1,0 +1,84 @@
+(* P1 — where do the cycles go?
+
+   Runs the allocation-churn workload with a cycle-attribution profiler
+   attached to the machine trace, so every syscall/fault/TLB/zeroing
+   span shows up in a call tree. The profiler is attached AFTER machine
+   and heap setup: boot-time cycles (struct page init etc.) are out of
+   scope, and the attributed fraction measures how much of the measured
+   workload's cycles land in named spans.
+
+   Everything runs on the virtual clock with a fixed seed, so the
+   exported profile is byte-identical across runs and hosts. *)
+
+module K = Os.Kernel
+
+let default_ops = 400
+let sample_interval_cycles = 50_000
+
+let attach k =
+  let profile = Sim.Profile.create ~clock:(K.clock k) () in
+  Sim.Trace.attach_profile (K.trace k) profile;
+  Sim.Stats.set_sample_interval (K.stats k) ~cycles:sample_interval_cycles;
+  profile
+
+(* Build machine + heap, attach the profiler, replay the churn trace.
+   Returns the kernel (for gauges and procfs rollups) and the profile. *)
+let run_churn ?(ops = default_ops) backend =
+  let rng = Sim.Rng.create ~seed:42 in
+  let trace = Wl.Churn.generate ~rng ~ops ~max_bytes:(Sim.Units.kib 64) () in
+  let k = Bench_env.kernel ~dram:(Sim.Units.gib 1) ~nvm:(Sim.Units.gib 1) () in
+  (match backend with
+  | `Malloc ->
+    let p = K.create_process k () in
+    let h = Heap.Malloc_sim.create k p in
+    let _profile_from_here = attach k in
+    ignore
+      (Wl.Churn.run trace
+         {
+           Wl.Churn.h_malloc = (fun ~bytes -> Heap.Malloc_sim.malloc h ~bytes);
+           h_free = (fun va -> Heap.Malloc_sim.free h va);
+           h_touch =
+             (fun ~va ~bytes ->
+               ignore
+                 (K.access_range k p ~va ~len:(max 1 bytes) ~write:true
+                    ~stride:Sim.Units.page_size));
+         })
+  | `Fom ->
+    let fom = O1mem.Fom.create k () in
+    let p = K.create_process k () in
+    let h = Heap.Fom_heap.create fom p () in
+    let _profile_from_here = attach k in
+    ignore
+      (Wl.Churn.run trace
+         {
+           Wl.Churn.h_malloc = (fun ~bytes -> Heap.Fom_heap.malloc h ~bytes);
+           h_free = (fun va -> Heap.Fom_heap.free h va);
+           h_touch =
+             (fun ~va ~bytes ->
+               ignore
+                 (O1mem.Fom.access_range fom p ~va ~len:(max 1 bytes) ~write:true
+                    ~stride:Sim.Units.page_size));
+         }));
+  (k, Sim.Trace.profile (K.trace k))
+
+(* Deterministic export for the bench JSON: attribution summary, full
+   call tree, and the gauge registry after the profiled churn_fom run. *)
+let to_json ?(ops = default_ops) () =
+  let k, profile = run_churn ~ops `Fom in
+  Sim.Json.Obj
+    [
+      ("workload", Sim.Json.String "churn_fom");
+      ("ops", Sim.Json.Int ops);
+      ("profile", Sim.Profile.to_json profile);
+      ("gauges", Sim.Stats.gauges_to_json (K.stats k));
+    ]
+
+let run ?(ops = default_ops) () =
+  Bench_env.print_header "P1"
+    "Cycle attribution for the churn workload: call tree over the virtual clock.";
+  List.iter
+    (fun (name, backend) ->
+      let _, profile = run_churn ~ops backend in
+      Printf.printf "--- churn_%s (%d ops) ---\n" name ops;
+      Format.printf "%a@." Sim.Profile.pp profile)
+    [ ("malloc", `Malloc); ("fom", `Fom) ]

@@ -163,6 +163,83 @@ let metrics_cmd =
   let compact = Arg.(value & flag & info [ "compact" ] ~doc:"Single-line JSON output.") in
   Cmd.v (Cmd.info "metrics" ~doc) Term.(const metrics $ events_limit $ compact)
 
+(* ---------------------------- profile ------------------------------ *)
+
+let profile_backend_of = function
+  | "malloc" -> `Malloc
+  | "fom" -> `Fom
+  | other -> failwith ("unknown backend: " ^ other ^ " (malloc|fom)")
+
+let profile backend ops format =
+  let _, p = Experiments.Exp_profile.run_churn ~ops (profile_backend_of backend) in
+  match format with
+  | "tree" -> Format.printf "%a@." Sim.Profile.pp p
+  | "chrome" ->
+    print_string (Sim.Json.to_string ~pretty:true (Sim.Profile.to_chrome_json p));
+    print_newline ()
+  | "collapsed" -> print_string (Sim.Profile.to_collapsed p)
+  | other -> failwith ("unknown format: " ^ other ^ " (tree|chrome|collapsed)")
+
+let profile_cmd =
+  let doc =
+    "Replay the churn workload with the cycle-attribution profiler attached and print the call \
+     tree, a Chrome trace-event JSON (load in chrome://tracing or Perfetto), or collapsed stacks \
+     (pipe into flamegraph.pl or speedscope)"
+  in
+  let backend = Arg.(value & opt string "fom" & info [ "backend" ] ~doc:"malloc|fom.") in
+  let ops = Arg.(value & opt int 400 & info [ "ops" ] ~doc:"Operations in the trace.") in
+  let format =
+    Arg.(value & opt string "tree" & info [ "format" ] ~docv:"FMT" ~doc:"tree|chrome|collapsed.")
+  in
+  Cmd.v (Cmd.info "profile" ~doc) Term.(const profile $ backend $ ops $ format)
+
+(* ------------------------------ top -------------------------------- *)
+
+(* procfs-style rollup after a profiled churn run: per-process memory,
+   machine gauges, and the hottest spans by self cycles. *)
+let top backend ops k_spans =
+  let k, p = Experiments.Exp_profile.run_churn ~ops (profile_backend_of backend) in
+  let procs =
+    Hashtbl.fold (fun _ pr acc -> pr :: acc) (Os.Kernel.processes k) []
+    |> List.sort (fun a b -> compare a.Os.Proc.pid b.Os.Proc.pid)
+  in
+  Printf.printf "%-6s %-10s %-10s %-10s %s\n" "PID" "RSS" "PSS" "PT" "VMAS";
+  List.iter
+    (fun pr ->
+      Printf.printf "%-6d %-10s %-10s %-10s %d\n" pr.Os.Proc.pid
+        (Sim.Units.bytes_to_string (Os.Procfs.rss_pages pr * Sim.Units.page_size))
+        (Sim.Units.bytes_to_string
+           (int_of_float
+              (Float.round (Os.Procfs.pss_pages k pr *. float_of_int Sim.Units.page_size))))
+        (Sim.Units.bytes_to_string (Os.Procfs.pt_bytes pr))
+        (Os.Address_space.vma_count pr.Os.Proc.aspace))
+    procs;
+  print_newline ();
+  Printf.printf "%-24s %10s %10s\n" "GAUGE" "VALUE" "HWM";
+  List.iter
+    (fun (name, v, hwm) -> Printf.printf "%-24s %10d %10d\n" name v hwm)
+    (Sim.Stats.gauges (Os.Kernel.stats k));
+  print_newline ();
+  Printf.printf "%-40s %10s %12s %12s\n" "SPAN" "CALLS" "SELF" "CUM";
+  List.iter
+    (fun (path, calls, self, cum) ->
+      Printf.printf "%-40s %10d %12d %12d\n" path calls self cum)
+    (Sim.Profile.top_spans ~k:k_spans p);
+  Printf.printf "\n%d/%d cycles attributed (%.1f%%), %d unattributed\n"
+    (Sim.Profile.attributed_cycles p) (Sim.Profile.total_cycles p)
+    (100.0 *. Sim.Profile.attributed_fraction p)
+    (Sim.Profile.unattributed_cycles p)
+
+let top_cmd =
+  let doc =
+    "Run the churn workload and print a procfs-style rollup: per-process RSS/PSS/page-table \
+     bytes, machine gauges with high watermarks, and the top spans by self cycles"
+  in
+  let backend = Arg.(value & opt string "fom" & info [ "backend" ] ~doc:"malloc|fom.") in
+  let ops = Arg.(value & opt int 400 & info [ "ops" ] ~doc:"Operations in the trace.") in
+  let k_spans = Arg.(value & opt int 10 & info [ "spans" ] ~doc:"Spans to show.") in
+  Cmd.v (Cmd.info "top" ~doc) Term.(const top $ backend $ ops $ k_spans)
+
 (* --------------------------- bench-diff ---------------------------- *)
 
 (* Exit codes: 0 = no regression, 1 = regression or class downgrade,
@@ -320,5 +397,5 @@ let () =
        (Cmd.group info
           [
             experiments_cmd; study_cmd; walkrefs_cmd; simulate_cmd; churn_cmd; metrics_cmd;
-            bench_diff_cmd;
+            profile_cmd; top_cmd; bench_diff_cmd;
           ]))

@@ -10,6 +10,11 @@ let create ~mem ~engine ?(max_order = 4) () =
 
 let model t = Sim.Clock.model (Physmem.Phys_mem.clock t.mem)
 
+(* Current cached-frame count across all orders, as a gauge with deltas
+   (the machine Stats is shared). *)
+let depth_delta t d =
+  if d <> 0 then Sim.Stats.add_gauge (Physmem.Phys_mem.stats t.mem) "zero_cache_depth" d
+
 let take t ~order =
   let stats = Physmem.Phys_mem.stats t.mem in
   if order < 0 || order >= Array.length t.queues then begin
@@ -20,8 +25,11 @@ let take t ~order =
     match Queue.take_opt t.queues.(order) with
     | Some frame ->
       (* The O(1) handout: one pop, no zeroing on the critical path. *)
+      Sim.Profile.span (Sim.Trace.profile (Physmem.Phys_mem.trace t.mem)) "zero_cache_pop"
+      @@ fun () ->
       Sim.Clock.charge (Physmem.Phys_mem.clock t.mem) (model t).Sim.Cost_model.zero_cache_pop;
       Sim.Stats.incr stats "zero_cache_hit";
+      depth_delta t (-1);
       Some frame
     | None ->
       Sim.Stats.incr stats "zero_cache_miss";
@@ -30,18 +38,19 @@ let take t ~order =
 let put t ~order frame =
   if order < 0 || order >= Array.length t.queues then
     invalid_arg "Zero_cache.put: order out of range";
-  Queue.push frame t.queues.(order)
+  Queue.push frame t.queues.(order);
+  depth_delta t 1
 
 let refill t ~budget_frames =
   let zeroed = Physmem.Zero_engine.background_step t.engine ~budget_frames in
-  let rec drain () =
+  let rec drain n =
     match Physmem.Zero_engine.take_zeroed t.engine with
     | Some frame ->
       Queue.push frame t.queues.(0);
-      drain ()
-    | None -> ()
+      drain (n + 1)
+    | None -> n
   in
-  drain ();
+  depth_delta t (drain 0);
   zeroed
 
 let available t ~order =

@@ -72,21 +72,22 @@ let create ~mem ~first ~count ~mode ?quota_frames ?(erase = Eager_zero) () =
 let rec journal_op t record =
   match t.journal with
   | None -> ()
-  | Some wal -> (
-    try Wal.append wal record
-    with Failure _ ->
-      (* Checkpoint: pay to rewrite the metadata image durably. *)
-      let model = Sim.Clock.model (clock t) in
-      let meta_bytes =
-        Hashtbl.fold (fun _ n acc -> acc + Inode.metadata_bytes n) t.inodes 0
-      in
-      Sim.Clock.charge (clock t)
-        (Sim.Cost_model.copy_cost model ~bytes:meta_bytes
-        + (meta_bytes / 64 * model.Sim.Cost_model.mem_ref_nvm_write));
-      Wal.reset wal;
-      t.checkpoints <- t.checkpoints + 1;
-      Sim.Stats.incr (stats t) "fs_checkpoint";
-      journal_op t record)
+  | Some wal ->
+    (try Wal.append wal record
+     with Failure _ ->
+       (* Checkpoint: pay to rewrite the metadata image durably. *)
+       let model = Sim.Clock.model (clock t) in
+       let meta_bytes =
+         Hashtbl.fold (fun _ n acc -> acc + Inode.metadata_bytes n) t.inodes 0
+       in
+       Sim.Clock.charge (clock t)
+         (Sim.Cost_model.copy_cost model ~bytes:meta_bytes
+         + (meta_bytes / 64 * model.Sim.Cost_model.mem_ref_nvm_write));
+       Wal.reset wal;
+       t.checkpoints <- t.checkpoints + 1;
+       Sim.Stats.incr (stats t) "fs_checkpoint";
+       journal_op t record);
+    Sim.Stats.set_gauge (stats t) "wal_bytes" (Wal.used_bytes wal)
 
 let journal_records t = match t.journal with None -> [] | Some wal -> Wal.entries wal
 let journal_checkpoints t = t.checkpoints
@@ -142,6 +143,7 @@ let mkdir t path =
   Hashtbl.replace entries name ino
 
 let create_file t path ~persistence =
+  Sim.Profile.span (Sim.Trace.profile (trace t)) "fs_create" @@ fun () ->
   let start = Sim.Clock.now (clock t) in
   charge_lookup t;
   let dir_segs, name = Fs_path.dirname_basename path in
@@ -279,6 +281,7 @@ let allocate_extents t pages =
 
 let extend t ino ~bytes_wanted =
   if bytes_wanted < 0 then invalid_arg "Memfs.extend: negative size";
+  Sim.Profile.span (Sim.Trace.profile (trace t)) "fs_extend" @@ fun () ->
   let start = Sim.Clock.now (clock t) in
   let node = inode t ino in
   let tree = Inode.extents node in
@@ -332,6 +335,7 @@ let extend t ino ~bytes_wanted =
   Sim.Trace.record (trace t) ~op:"fs_extend" ~start ~arg:bytes_wanted ()
 
 let truncate t ino ~bytes =
+  Sim.Profile.span (Sim.Trace.profile (trace t)) "fs_truncate" @@ fun () ->
   let start = Sim.Clock.now (clock t) in
   let node = inode t ino in
   let tree = Inode.extents node in

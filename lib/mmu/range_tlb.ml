@@ -34,9 +34,14 @@ let touch t =
   t.tick <- t.tick + 1;
   t.tick
 
+(* Occupancy gauge, maintained as deltas like [Tlb]'s: the machine-wide
+   Stats aggregates every range TLB sharing it. *)
+let gauge_delta t d = if d <> 0 then Sim.Stats.add_gauge t.stats "range_tlb_entries" d
+
 let drop t ~base ~tick =
   t.by_base <- IntMap.remove base t.by_base;
-  t.by_tick <- IntMap.remove tick t.by_tick
+  t.by_tick <- IntMap.remove tick t.by_tick;
+  gauge_delta t (-1)
 
 let lookup t ~va =
   let start = Sim.Clock.now t.clock in
@@ -81,7 +86,8 @@ let insert t (e : Range_table.entry) =
   done;
   let now = touch t in
   t.by_base <- IntMap.add e.base (e, now) t.by_base;
-  t.by_tick <- IntMap.add now e.base t.by_tick
+  t.by_tick <- IntMap.add now e.base t.by_tick;
+  gauge_delta t 1
 
 let invalidate t ~base =
   let start = Sim.Clock.now t.clock in
@@ -94,6 +100,7 @@ let invalidate t ~base =
 
 let flush t =
   Sim.Clock.charge t.clock (Sim.Cost_model.shootdown_cost (model t));
+  gauge_delta t (-IntMap.cardinal t.by_base);
   t.by_base <- IntMap.empty;
   t.by_tick <- IntMap.empty
 

@@ -39,6 +39,11 @@ let create ~clock ~stats ?(trace = Sim.Trace.disabled) ?(sets = 128) ?(ways = 8)
 let capacity t = t.sets * t.ways
 
 let model t = Sim.Clock.model t.clock
+let prof t = Sim.Trace.profile t.trace
+
+(* Occupancy gauge: per-process TLBs share the machine Stats, so the
+   gauge is maintained with deltas and reads as aggregate live entries. *)
+let gauge_delta t d = if d <> 0 then Sim.Stats.add_gauge t.stats "tlb_entries" d
 
 let touch t =
   t.tick <- t.tick + 1;
@@ -65,6 +70,7 @@ let find_slot t va size =
   !found
 
 let lookup t ~va =
+  Sim.Profile.span (prof t) "tlb_lookup" @@ fun () ->
   let start = Sim.Clock.now t.clock in
   Sim.Clock.charge t.clock (model t).Sim.Cost_model.tlb_hit;
   let found = ref None in
@@ -107,6 +113,7 @@ let insert t ~va ~pfn ~prot ~size =
   let s = !victim in
   if s.valid && not (s.tag = tag && s.size = size) then
     Sim.Stats.incr t.stats "tlb_evictions";
+  if not s.valid then gauge_delta t 1;
   s.valid <- true;
   s.tag <- tag;
   s.size <- size;
@@ -115,11 +122,17 @@ let insert t ~va ~pfn ~prot ~size =
   s.used <- touch t
 
 let invalidate_page t ~va =
+  Sim.Profile.span (prof t) "tlb_shootdown" @@ fun () ->
   let start = Sim.Clock.now t.clock in
   Sim.Clock.charge t.clock (Sim.Cost_model.shootdown_cost (model t));
   Sim.Stats.incr t.stats "tlb_shootdown";
   List.iter
-    (fun size -> match find_slot t va size with Some s -> s.valid <- false | None -> ())
+    (fun size ->
+      match find_slot t va size with
+      | Some s ->
+        s.valid <- false;
+        gauge_delta t (-1)
+      | None -> ())
     sizes;
   Sim.Trace.record t.trace ~op:"tlb_shootdown" ~start ~arg:1 ()
 
@@ -128,9 +141,12 @@ let entry_count t =
     (fun acc set -> Array.fold_left (fun acc s -> if s.valid then acc + 1 else acc) acc set)
     0 t.data
 
-let clear t = Array.iter (fun set -> Array.iter (fun s -> s.valid <- false) set) t.data
+let clear t =
+  gauge_delta t (-entry_count t);
+  Array.iter (fun set -> Array.iter (fun s -> s.valid <- false) set) t.data
 
 let flush t =
+  Sim.Profile.span (prof t) "tlb_flush" @@ fun () ->
   let start = Sim.Clock.now t.clock in
   let had = entry_count t in
   Sim.Clock.charge t.clock (Sim.Cost_model.shootdown_cost (model t));
@@ -146,6 +162,7 @@ let invalidate_range t ~va ~len =
   let pages = Sim.Units.pages_of_bytes len in
   if pages >= full_flush_threshold_pages then flush t
   else begin
+    Sim.Profile.span (prof t) "tlb_shootdown" @@ fun () ->
     let start = Sim.Clock.now t.clock in
     (* One INVLPG per page in the range, resident or not — same cost and
        stat accounting as [invalidate_page], applied n times. *)
@@ -158,7 +175,10 @@ let invalidate_range t ~va ~len =
           (fun s ->
             if s.valid then begin
               let e_lo = s.tag and e_hi = s.tag + Page_size.bytes s.size in
-              if not (e_hi <= lo || e_lo >= hi) then s.valid <- false
+              if not (e_hi <= lo || e_lo >= hi) then begin
+                s.valid <- false;
+                gauge_delta t (-1)
+              end
             end)
           set)
       t.data;

@@ -4,20 +4,23 @@ type t = {
   buckets : int array;
   mutable count : int;
   mutable total : int;
+  mutable sq : float; (* sum of squared samples, for stddev *)
   mutable min_v : int;
   mutable max_v : int;
 }
 
-let create () = { buckets = Array.make 63 0; count = 0; total = 0; min_v = max_int; max_v = 0 }
+let create () =
+  { buckets = Array.make 63 0; count = 0; total = 0; sq = 0.0; min_v = max_int; max_v = 0 }
 
 let bucket_of v = if v <= 0 then 0 else 1 + Units.log2_floor v
 
 let observe t v =
-  assert (v >= 0);
+  if v < 0 then invalid_arg "Histogram.observe: negative sample";
   let b = bucket_of v in
   t.buckets.(b) <- t.buckets.(b) + 1;
   t.count <- t.count + 1;
   t.total <- t.total + v;
+  t.sq <- t.sq +. (float_of_int v *. float_of_int v);
   if v < t.min_v then t.min_v <- v;
   if v > t.max_v then t.max_v <- v
 
@@ -26,6 +29,14 @@ let total t = t.total
 let mean t = if t.count = 0 then 0.0 else float_of_int t.total /. float_of_int t.count
 let min_value t = if t.count = 0 then 0 else t.min_v
 let max_value t = t.max_v
+
+let stddev t =
+  if t.count = 0 then 0.0
+  else
+    let n = float_of_int t.count in
+    let m = mean t in
+    (* population stddev; max guards the tiny negative from float rounding *)
+    sqrt (max 0.0 ((t.sq /. n) -. (m *. m)))
 
 let percentile t p =
   assert (p >= 0.0 && p <= 100.0);
@@ -49,6 +60,7 @@ let to_json t =
       ("count", Json.Int t.count);
       ("total", Json.Int t.total);
       ("mean", Json.Float (mean t));
+      ("stddev", Json.Float (stddev t));
       ("min", Json.Int (min_value t));
       ("max", Json.Int (max_value t));
       ("p50", Json.Int (percentile t 50.0));

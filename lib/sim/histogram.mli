@@ -5,7 +5,7 @@ type t
 val create : unit -> t
 
 val observe : t -> int -> unit
-(** Record one sample (must be >= 0). *)
+(** Record one sample. Raises [Invalid_argument] on a negative sample. *)
 
 val count : t -> int
 (** Number of samples recorded. *)
@@ -15,6 +15,9 @@ val total : t -> int
 
 val mean : t -> float
 (** Arithmetic mean; 0 when empty. *)
+
+val stddev : t -> float
+(** Population standard deviation; 0 when empty. *)
 
 val min_value : t -> int
 (** Smallest sample; 0 when empty. *)
@@ -29,6 +32,6 @@ val percentile : t -> float -> int
     observed sample. Monotone in [p]. *)
 
 val to_json : t -> Json.t
-(** Summary object: count/total/mean/min/max/p50/p90/p99. *)
+(** Summary object: count/total/mean/stddev/min/max/p50/p90/p99. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,247 @@
+(* Nested-span cycle-attribution profiler over the virtual clock.
+
+   Spans push/pop a per-simulation stack; every cycle charged while a
+   stack is active is attributed to the current path, building a call
+   tree with per-node call counts, cumulative and self cycles. The
+   profiler itself never charges the clock, so attribution overhead is
+   zero simulated cycles whether or not it is enabled.
+
+   Like [Trace.disabled], the [disabled] sentinel lets components keep a
+   profile reachable without optional plumbing: [span] on it just runs
+   its function. *)
+
+type node = { name : string; calls : int; cum : int; self : int; children : node list }
+
+(* Mutable call-tree node; one per distinct path, children keyed by name. *)
+type inode = {
+  iname : string;
+  mutable calls : int;
+  mutable cum : int;
+  mutable child_cum : int;
+  children : (string, inode) Hashtbl.t;
+}
+
+type ev = { depth : int; ename : string; start : int; finish : int }
+
+type t = {
+  clock : Clock.t option; (* None = disabled sentinel *)
+  roots : (string, inode) Hashtbl.t;
+  mutable stack : (inode * int) list; (* (node, start cycle), innermost first *)
+  mutable started : int; (* cycle when created/reset: cycles before it are out of scope *)
+  ring : ev option array;
+  mutable ev_recorded : int;
+}
+
+let default_events_capacity = 8192
+
+let create ~clock ?(events_capacity = default_events_capacity) () =
+  if events_capacity <= 0 then invalid_arg "Profile.create: capacity must be positive";
+  {
+    clock = Some clock;
+    roots = Hashtbl.create 16;
+    stack = [];
+    started = Clock.now clock;
+    ring = Array.make events_capacity None;
+    ev_recorded = 0;
+  }
+
+let disabled =
+  { clock = None; roots = Hashtbl.create 1; stack = []; started = 0; ring = [||]; ev_recorded = 0 }
+
+let enabled t = t.clock <> None
+let depth t = List.length t.stack
+
+let reset t =
+  (match t.clock with Some c -> t.started <- Clock.now c | None -> ());
+  Hashtbl.reset t.roots;
+  t.stack <- [];
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.ev_recorded <- 0
+
+let child_of t name =
+  let tbl = match t.stack with (n, _) :: _ -> n.children | [] -> t.roots in
+  match Hashtbl.find_opt tbl name with
+  | Some n -> n
+  | None ->
+    let n = { iname = name; calls = 0; cum = 0; child_cum = 0; children = Hashtbl.create 4 } in
+    Hashtbl.add tbl name n;
+    n
+
+let record_event t ~depth ~name ~start ~finish =
+  let cap = Array.length t.ring in
+  if cap > 0 then begin
+    t.ring.(t.ev_recorded mod cap) <- Some { depth; ename = name; start; finish };
+    t.ev_recorded <- t.ev_recorded + 1
+  end
+
+let span t name f =
+  match t.clock with
+  | None -> f ()
+  | Some clock ->
+    let node = child_of t name in
+    let d = List.length t.stack in
+    let start = Clock.now clock in
+    t.stack <- (node, start) :: t.stack;
+    let pop () =
+      match t.stack with
+      | (n, s) :: rest ->
+        t.stack <- rest;
+        let finish = Clock.now clock in
+        let delta = finish - s in
+        n.calls <- n.calls + 1;
+        n.cum <- n.cum + delta;
+        (match rest with (p, _) :: _ -> p.child_cum <- p.child_cum + delta | [] -> ());
+        record_event t ~depth:d ~name:n.iname ~start:s ~finish
+      | [] -> assert false
+    in
+    (match f () with
+    | v ->
+      pop ();
+      v
+    | exception e ->
+      (* Exception-safe: the frame is popped (and its cycles up to the
+         raise attributed) before the exception continues outward, so a
+         partial stack never leaks. *)
+      pop ();
+      raise e)
+
+(* ------------------------------ snapshot ------------------------------ *)
+
+let rec snapshot (n : inode) =
+  let children =
+    Hashtbl.fold (fun _ c acc -> snapshot c :: acc) n.children []
+    |> List.sort (fun a b -> String.compare a.name b.name)
+  in
+  { name = n.iname; calls = n.calls; cum = n.cum; self = max 0 (n.cum - n.child_cum); children }
+
+let tree t =
+  Hashtbl.fold (fun _ n acc -> snapshot n :: acc) t.roots []
+  |> List.sort (fun a b -> String.compare a.name b.name)
+
+let total_cycles t = match t.clock with None -> 0 | Some c -> Clock.now c - t.started
+let attributed_cycles t = Hashtbl.fold (fun _ n acc -> acc + n.cum) t.roots 0
+let unattributed_cycles t = max 0 (total_cycles t - attributed_cycles t)
+
+let flatten t =
+  let out = ref [] in
+  let rec go prefix n =
+    let path = if prefix = "" then n.name else prefix ^ ";" ^ n.name in
+    out := (path, n.calls, n.self, n.cum) :: !out;
+    List.iter (go path) n.children
+  in
+  List.iter (go "") (tree t);
+  List.rev !out
+
+let top_spans ?(k = 10) t =
+  flatten t
+  |> List.sort (fun (pa, _, sa, _) (pb, _, sb, _) ->
+         if sa <> sb then compare sb sa else String.compare pa pb)
+  |> List.filteri (fun i _ -> i < k)
+
+(* ------------------------------- events ------------------------------- *)
+
+let events_recorded t = t.ev_recorded
+let events_dropped t = max 0 (t.ev_recorded - Array.length t.ring)
+
+let events t =
+  let cap = Array.length t.ring in
+  if cap = 0 || t.ev_recorded = 0 then []
+  else begin
+    let kept = min t.ev_recorded cap in
+    let first = t.ev_recorded - kept in
+    List.init kept (fun i ->
+        match t.ring.((first + i) mod cap) with Some e -> e | None -> assert false)
+  end
+
+(* ------------------------------ exporters ----------------------------- *)
+
+let attributed_fraction t =
+  let total = total_cycles t in
+  if total = 0 then 1.0 else float_of_int (attributed_cycles t) /. float_of_int total
+
+let rec node_to_json (n : node) =
+  Json.Obj
+    ([ ("calls", Json.Int n.calls); ("cum", Json.Int n.cum); ("self", Json.Int n.self) ]
+    @
+    if n.children = [] then []
+    else [ ("children", Json.Obj (List.map (fun c -> (c.name, node_to_json c)) n.children)) ])
+
+let to_json t =
+  Json.Obj
+    [
+      ("enabled", Json.Bool (enabled t));
+      ("total_cycles", Json.Int (total_cycles t));
+      ("attributed_cycles", Json.Int (attributed_cycles t));
+      ("unattributed_cycles", Json.Int (unattributed_cycles t));
+      ("attributed_fraction", Json.Float (attributed_fraction t));
+      ("events_recorded", Json.Int (events_recorded t));
+      ("events_dropped", Json.Int (events_dropped t));
+      ("tree", Json.Obj (List.map (fun n -> (n.name, node_to_json n)) (tree t)));
+    ]
+
+(* Chrome trace-event JSON (chrome://tracing, Perfetto, speedscope).
+   Virtual cycles are exported as microseconds; viewers rebuild the stack
+   from the nesting of complete ("ph":"X") events on one thread, so
+   events are sorted parents-first: by start, then longest duration. *)
+let to_chrome_json t =
+  let evs =
+    List.sort
+      (fun a b ->
+        if a.start <> b.start then compare a.start b.start
+        else if a.finish <> b.finish then compare b.finish a.finish
+        else compare a.depth b.depth)
+      (events t)
+  in
+  Json.Obj
+    [
+      ( "traceEvents",
+        Json.List
+          (List.map
+             (fun e ->
+               Json.Obj
+                 [
+                   ("name", Json.String e.ename);
+                   ("cat", Json.String "sim");
+                   ("ph", Json.String "X");
+                   ("ts", Json.Int e.start);
+                   ("dur", Json.Int (e.finish - e.start));
+                   ("pid", Json.Int 1);
+                   ("tid", Json.Int 1);
+                 ])
+             evs) );
+      ("displayTimeUnit", Json.String "ms");
+      ( "otherData",
+        Json.Obj
+          [
+            ("clock", Json.String "virtual cycles exported as microseconds");
+            ("dropped_events", Json.Int (events_dropped t));
+            ("unattributed_cycles", Json.Int (unattributed_cycles t));
+          ] );
+    ]
+
+(* Collapsed stacks for flamegraph.pl / speedscope: one "a;b;c self"
+   line per path with non-zero self cycles, in deterministic DFS order.
+   The unattributed remainder is reported explicitly as its own root. *)
+let to_collapsed t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (path, _, self, _) ->
+      if self > 0 then Buffer.add_string buf (Printf.sprintf "%s %d\n" path self))
+    (flatten t);
+  let rest = unattributed_cycles t in
+  if rest > 0 then Buffer.add_string buf (Printf.sprintf "(unattributed) %d\n" rest);
+  Buffer.contents buf
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>profile: %d total cycles, %d attributed (%.1f%%), %d unattributed@,"
+    (total_cycles t) (attributed_cycles t)
+    (100.0 *. attributed_fraction t)
+    (unattributed_cycles t);
+  let rec go indent n =
+    Format.fprintf ppf "%s%-*s calls=%-8d self=%-12d cum=%d@," indent
+      (max 1 (28 - String.length indent))
+      n.name n.calls n.self n.cum;
+    List.iter (go (indent ^ "  ")) n.children
+  in
+  List.iter (go "") (tree t);
+  Format.fprintf ppf "@]"

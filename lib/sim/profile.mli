@@ -1,0 +1,94 @@
+(** Nested-span cycle-attribution profiler over the virtual clock.
+
+    {!span} pushes a frame on a per-simulation stack, runs its function,
+    and pops the frame — exception-safe, like {!Trace.span}. Every cycle
+    charged to the clock while the stack is non-empty is attributed to
+    the innermost span's path, producing a call tree with call counts,
+    cumulative and self cycles per node, plus a bounded ring of raw span
+    events for timeline export.
+
+    The profiler never charges the clock: a profiled run spends exactly
+    the same simulated cycles as an unprofiled one. Components reach the
+    machine's profiler through their {!Trace.t}
+    (see {!Trace.profile}); the {!disabled} sentinel makes every
+    operation a no-op, so instrumentation needs no optional plumbing. *)
+
+type node = {
+  name : string;
+  calls : int;  (** completed spans at this path *)
+  cum : int;  (** cycles charged while this span (or a child) was innermost *)
+  self : int;  (** [cum] minus the children's cumulative cycles *)
+  children : node list;  (** sorted by name *)
+}
+
+type t
+
+val create : clock:Clock.t -> ?events_capacity:int -> unit -> t
+(** A live profiler reading the given clock. Cycles charged before
+    creation are outside its scope. [events_capacity] (default 8192)
+    bounds the span-event ring used by {!to_chrome_json}; the call tree
+    is exact regardless. Raises [Invalid_argument] if
+    [events_capacity <= 0]. *)
+
+val disabled : t
+(** Shared no-op sentinel: {!span} just runs its function. *)
+
+val enabled : t -> bool
+
+val depth : t -> int
+(** Current span-stack depth (0 when idle). *)
+
+val span : t -> string -> (unit -> 'a) -> 'a
+(** [span t name f] runs [f] inside a span named [name]. Cycles charged
+    during [f] accrue to the span (and, transitively, its ancestors). If
+    [f] raises, the frame is popped and the cycles up to the raise are
+    still attributed before the exception propagates. On {!disabled} it
+    just runs [f]. *)
+
+val reset : t -> unit
+(** Drop the tree and events and restart attribution at the current
+    cycle. The stack must be empty (spans in flight are discarded). *)
+
+(** {1 Results} *)
+
+val tree : t -> node list
+(** Call-tree roots, sorted by name. *)
+
+val flatten : t -> (string * int * int * int) list
+(** Every node as [(";"-joined path, calls, self, cum)], DFS order. *)
+
+val top_spans : ?k:int -> t -> (string * int * int * int) list
+(** The [k] (default 10) paths with the most self cycles, descending. *)
+
+val total_cycles : t -> int
+(** Cycles the clock advanced since the profiler was created/reset. *)
+
+val attributed_cycles : t -> int
+(** Cycles covered by completed root spans. *)
+
+val unattributed_cycles : t -> int
+(** [total_cycles - attributed_cycles], floored at 0: cycles charged
+    while no span was active. *)
+
+val attributed_fraction : t -> float
+(** Attributed / total; 1.0 when no cycles were charged. *)
+
+val events_recorded : t -> int
+val events_dropped : t -> int
+
+(** {1 Exporters} *)
+
+val to_json : t -> Json.t
+(** Attribution summary plus the full call tree (deterministic). *)
+
+val to_chrome_json : t -> Json.t
+(** Chrome trace-event JSON (chrome://tracing, Perfetto, speedscope):
+    complete events on one thread, virtual cycles as microseconds. *)
+
+val to_collapsed : t -> string
+(** Collapsed-stack text for flamegraph.pl / speedscope: one
+    ["a;b;c self-cycles"] line per path, plus an explicit
+    ["(unattributed)"] line for cycles outside any span. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable tree with the attribution summary. *)

@@ -9,6 +9,7 @@ type t = {
   ring : event option array;
   mutable recorded : int; (* total events ever recorded, ring or not *)
   latencies : (string, Histogram.t) Hashtbl.t;
+  mutable profile : Profile.t; (* cycle-attribution profiler, if attached *)
 }
 
 let default_capacity = 4096
@@ -20,11 +21,19 @@ let create ~clock ?(capacity = default_capacity) () =
     ring = Array.make capacity None;
     recorded = 0;
     latencies = Hashtbl.create 32;
+    profile = Profile.disabled;
   }
 
-let disabled = { clock = None; ring = [||]; recorded = 0; latencies = Hashtbl.create 1 }
+let disabled =
+  { clock = None; ring = [||]; recorded = 0; latencies = Hashtbl.create 1; profile = Profile.disabled }
 
 let enabled t = t.clock <> None
+
+let profile t = t.profile
+
+let attach_profile t p =
+  if not (enabled t) then invalid_arg "Trace.attach_profile: disabled trace";
+  t.profile <- p
 let capacity t = Array.length t.ring
 let recorded t = t.recorded
 let dropped t = max 0 (t.recorded - Array.length t.ring)
@@ -97,6 +106,23 @@ let event_to_json e =
 let to_json ?(events_limit = max_int) t =
   let evs = events t in
   let total = List.length evs in
+  (* Retained ring events per op: [recorded - in_ring] is how many of an
+     op's events wraparound evicted, making dropped-event skew visible
+     per operation instead of only in the global [dropped] count. *)
+  let in_ring = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace in_ring e.op (1 + Option.value (Hashtbl.find_opt in_ring e.op) ~default:0))
+    evs;
+  let op_summary k h =
+    let hist = match Histogram.to_json h with Json.Obj fields -> fields | other -> [ ("histogram", other) ] in
+    Json.Obj
+      (hist
+      @ [
+          ("recorded", Json.Int (Histogram.count h));
+          ("in_ring", Json.Int (Option.value (Hashtbl.find_opt in_ring k) ~default:0));
+        ])
+  in
   let evs =
     if total <= events_limit then evs
     else (* keep the newest [events_limit] events *)
@@ -108,7 +134,7 @@ let to_json ?(events_limit = max_int) t =
       ("capacity", Json.Int (capacity t));
       ("recorded", Json.Int t.recorded);
       ("dropped", Json.Int (dropped t));
-      ("ops", Json.Obj (List.map (fun (k, h) -> (k, Histogram.to_json h)) (ops t)));
+      ("ops", Json.Obj (List.map (fun (k, h) -> (k, op_summary k h)) (ops t)));
       ("events", Json.List (List.map event_to_json evs));
     ]
 

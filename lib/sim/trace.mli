@@ -28,6 +28,17 @@ val create : clock:Clock.t -> ?capacity:int -> unit -> t
 val disabled : t
 (** Shared no-op sentinel: never records, safe to use from any component. *)
 
+val profile : t -> Profile.t
+(** The cycle-attribution profiler attached to this trace —
+    {!Profile.disabled} until {!attach_profile}. Components wrap their
+    hot paths in [Profile.span (Trace.profile trace) name f]; with no
+    profiler attached that is a no-op. *)
+
+val attach_profile : t -> Profile.t -> unit
+(** Attach a profiler so every component sharing this trace starts
+    attributing spans. Raises [Invalid_argument] on {!disabled} (the
+    sentinel is shared machine-wide). *)
+
 val enabled : t -> bool
 val capacity : t -> int
 
@@ -60,6 +71,10 @@ val reset : t -> unit
 
 val to_json : ?events_limit:int -> t -> Json.t
 (** Export: capacity/recorded/dropped, per-op histogram summaries, and the
-    retained events (newest [events_limit] of them, default all retained). *)
+    retained events (newest [events_limit] of them, default all retained).
+    Each op summary carries a [recorded] count (events ever recorded for
+    that op) and an [in_ring] count (events still retained by the ring),
+    so per-op dropped-event skew is visible: [recorded - in_ring] events
+    of that op were evicted by wraparound. *)
 
 val pp : Format.formatter -> t -> unit

@@ -150,12 +150,17 @@ let handle_inner ctx ~aspace ~pid ~va ~write =
 let handle ctx ~aspace ~pid ~va ~write =
   let trace = Physmem.Phys_mem.trace ctx.mem in
   let start = Sim.Clock.now (clock ctx) in
-  match handle_inner ctx ~aspace ~pid ~va ~write with
-  | kind ->
-    Sim.Trace.record trace ~op:"fault_handle" ~start
-      ~outcome:(match kind with Minor -> "minor" | Major -> "major")
-      ();
-    kind
-  | exception Segfault va ->
-    Sim.Trace.record trace ~op:"fault_handle" ~start ~outcome:"segfault" ();
-    raise (Segfault va)
+  let result =
+    Sim.Profile.span (Sim.Trace.profile trace) "fault" @@ fun () ->
+    match handle_inner ctx ~aspace ~pid ~va ~write with
+    | kind ->
+      Sim.Trace.record trace ~op:"fault_handle" ~start
+        ~outcome:(match kind with Minor -> "minor" | Major -> "major")
+        ();
+      kind
+    | exception Segfault va ->
+      Sim.Trace.record trace ~op:"fault_handle" ~start ~outcome:"segfault" ();
+      raise (Segfault va)
+  in
+  Sim.Stats.sample (stats ctx) ~now:(Sim.Clock.now (clock ctx));
+  result

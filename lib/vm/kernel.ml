@@ -154,9 +154,13 @@ let charge_boot t = Page_meta.init_range t.meta ~first:0 ~count:(Phys_mem.total_
 
 let charge t c = Sim.Clock.charge t.clock c
 let model t = Sim.Clock.model t.clock
+let prof t = Sim.Trace.profile t.trace
+
 let charge_syscall t =
   charge t (model t).Sim.Cost_model.syscall;
-  Sim.Stats.incr t.stats "syscall"
+  Sim.Stats.incr t.stats "syscall";
+  (* Syscall entry doubles as the gauge-sampling heartbeat. *)
+  Sim.Stats.sample t.stats ~now:(Sim.Clock.now t.clock)
 
 let alloc_pt_frame t () =
   match Alloc.Buddy.alloc t.buddy ~order:0 with
@@ -236,6 +240,7 @@ let teardown_vma t (vma : Vma.t) ~table ~batch =
   | Vma.Anon -> ()
 
 let munmap t proc ~va ~len =
+  Sim.Profile.span (prof t) "munmap" @@ fun () ->
   charge_syscall t;
   let aspace = proc.Proc.aspace in
   let table = Address_space.page_table aspace in
@@ -246,6 +251,7 @@ let munmap t proc ~va ~len =
   Hw.Tlb_batch.flush batch
 
 let exit_process t proc =
+  Sim.Profile.span (prof t) "exit" @@ fun () ->
   charge_syscall t;
   let aspace = proc.Proc.aspace in
   let table = Address_space.page_table aspace in
@@ -276,6 +282,7 @@ let register_if_anon t proc ~va =
   | _ -> ()
 
 let mmap_anon t proc ~len ~prot ~populate =
+  Sim.Profile.span (prof t) "mmap" @@ fun () ->
   charge_syscall t;
   if len <= 0 then invalid_arg "Kernel.mmap_anon: empty mapping";
   let len = Sim.Units.round_up len ~align:Sim.Units.page_size in
@@ -296,6 +303,7 @@ let mmap_anon t proc ~len ~prot ~populate =
   va
 
 let mmap_file t proc ~fs ~path ~prot ~share ~populate ?len ?(offset = 0) () =
+  Sim.Profile.span (prof t) "mmap" @@ fun () ->
   charge_syscall t;
   let ino =
     match Fs.Memfs.lookup fs path with
@@ -331,6 +339,7 @@ let mmap_file t proc ~fs ~path ~prot ~share ~populate ?len ?(offset = 0) () =
   va
 
 let mprotect t proc ~va ~len ~prot =
+  Sim.Profile.span (prof t) "mprotect" @@ fun () ->
   charge_syscall t;
   let aspace = proc.Proc.aspace in
   (match Address_space.find_vma aspace ~va with
@@ -340,12 +349,14 @@ let mprotect t proc ~va ~len ~prot =
   Hw.Mmu.invalidate_range (Address_space.mmu aspace) ~va ~len
 
 let context_switch t ~from_ ~to_ ~asids =
+  Sim.Profile.span (prof t) "context_switch" @@ fun () ->
   ignore from_;
   charge t (model t).Sim.Cost_model.scheduler;
   Sim.Stats.incr t.stats "context_switch";
   if not asids then Hw.Mmu.flush_tlbs (Address_space.mmu to_.Proc.aspace)
 
 let madvise_dontneed t proc ~va ~len =
+  Sim.Profile.span (prof t) "madvise" @@ fun () ->
   charge_syscall t;
   let aspace = proc.Proc.aspace in
   let table = Address_space.page_table aspace in
@@ -371,6 +382,7 @@ let madvise_dontneed t proc ~va ~len =
 (* Deliver a fault to a user handler: trap, switch to the handler task,
    run it, install the page via the UFFDIO_COPY path, switch back. *)
 let handle_userfault t proc ~va ~write ~prot ~(handler : Userfault.handler) =
+  Sim.Profile.span (prof t) "userfault" @@ fun () ->
   let aspace = proc.Proc.aspace in
   let m = model t in
   charge t m.Sim.Cost_model.fault_trap;
@@ -419,6 +431,7 @@ let user_page_release t proc ~va =
     Some pfn
 
 let rec access t proc ~va ~write =
+  Sim.Profile.span (prof t) "access" @@ fun () ->
   let aspace = proc.Proc.aspace in
   match Hw.Mmu.access (Address_space.mmu aspace) ~mem:t.mem ~va ~write with
   | Ok () -> ()
@@ -460,6 +473,7 @@ let access_range t proc ~va ~len ~write ~stride =
   !count
 
 let mlock t proc ~va ~len =
+  Sim.Profile.span (prof t) "mlock" @@ fun () ->
   charge_syscall t;
   let aspace = proc.Proc.aspace in
   let pages = Sim.Units.pages_of_bytes len in
@@ -479,6 +493,7 @@ let mlock t proc ~va ~len =
   Sim.Stats.add t.stats "mlocked_pages" pages
 
 let read_syscall t proc ~fs ~ino ~off ~len =
+  Sim.Profile.span (prof t) "read" @@ fun () ->
   ignore proc;
   charge_syscall t;
   let data = Fs.Memfs.read_file fs ino ~off ~len in

@@ -89,16 +89,20 @@ let put_page t pfn =
 
 let mapcount t pfn = (page t pfn).mapcount
 
+(* Mapcount 0 -> 1 / 1 -> 0 transitions are the machine-wide choke point
+   for residency: a frame is resident iff some address space maps it. *)
 let inc_mapcount t pfn =
   charge_meta t;
   let p = page t pfn in
-  p.mapcount <- p.mapcount + 1
+  p.mapcount <- p.mapcount + 1;
+  if p.mapcount = 1 then Sim.Stats.add_gauge t.stats "resident_pages" 1
 
 let dec_mapcount t pfn =
   charge_meta t;
   let p = page t pfn in
   if p.mapcount <= 0 then invalid_arg "Page_meta.dec_mapcount: underflow";
-  p.mapcount <- p.mapcount - 1
+  p.mapcount <- p.mapcount - 1;
+  if p.mapcount = 0 then Sim.Stats.add_gauge t.stats "resident_pages" (-1)
 
 let init_range t ~first ~count =
   if first < 0 || count < 0 || first + count > t.frames then

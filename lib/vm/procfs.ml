@@ -30,7 +30,11 @@ let pt_bytes (proc : Proc.t) =
   Hw.Page_table.metadata_bytes (Address_space.page_table proc.Proc.aspace)
 
 let smaps_summary k (proc : Proc.t) =
-  Printf.sprintf "pid %d: %d vmas, rss %s, pss %s, page tables %s"
+  let stats = Kernel.stats k in
+  Printf.sprintf
+    "pid %d: %d vmas, rss %s, pss %s, page tables %s\n\
+     machine: resident %d pages (hwm %d), zero-cache depth %d (hwm %d), tlb %d entries (hwm \
+     %d), range-tlb %d entries (hwm %d)"
     proc.Proc.pid
     (Address_space.vma_count proc.Proc.aspace)
     (Sim.Units.bytes_to_string (rss_pages proc * Sim.Units.page_size))
@@ -39,3 +43,11 @@ let smaps_summary k (proc : Proc.t) =
           mappings (e.g. 2 pages / 3 sharers = 2730.67 B, not 2730 B). *)
        (int_of_float (Float.round (pss_pages k proc *. float_of_int Sim.Units.page_size))))
     (Sim.Units.bytes_to_string (pt_bytes proc))
+    (Sim.Stats.gauge stats "resident_pages")
+    (Sim.Stats.gauge_hwm stats "resident_pages")
+    (Sim.Stats.gauge stats "zero_cache_depth")
+    (Sim.Stats.gauge_hwm stats "zero_cache_depth")
+    (Sim.Stats.gauge stats "tlb_entries")
+    (Sim.Stats.gauge_hwm stats "tlb_entries")
+    (Sim.Stats.gauge stats "range_tlb_entries")
+    (Sim.Stats.gauge_hwm stats "range_tlb_entries")

@@ -4,6 +4,7 @@ let () =
       ("sim", Test_sim.suite);
       ("complexity", Test_complexity.suite);
       ("trace", Test_trace.suite);
+      ("profile", Test_profile.suite);
       ("physmem", Test_physmem.suite);
       ("alloc", Test_alloc.suite);
       ("mmu", Test_mmu.suite);

@@ -159,6 +159,26 @@ let test_smaps_pss_shared_rounds () =
   check_bool "pss rounds to nearest" true (Helpers.contains ~needle:"pss 2731B" summary);
   check_bool "rss unaffected" true (Helpers.contains ~needle:"rss 8KiB" summary)
 
+let test_smaps_machine_gauges () =
+  let k, p = mk () in
+  let len = Sim.Units.kib 16 in
+  let va = K.mmap_anon k p ~len ~prot:Hw.Prot.rw ~populate:true in
+  ignore (K.access_range k p ~va ~len ~write:false ~stride:Sim.Units.page_size);
+  let summary = Os.Procfs.smaps_summary k p in
+  (* Gauges are machine-wide aggregates kept live by the hot paths: after
+     populating 4 pages, residency must match and the TLB holds the
+     populate-time insertions. *)
+  check_bool "machine roll-up line" true (Helpers.contains ~needle:"machine: resident" summary);
+  check_bool "resident matches populated pages" true
+    (Helpers.contains ~needle:"resident 4 pages (hwm 4)" summary);
+  check_int "gauge agrees with procfs rss" (Os.Procfs.rss_pages p)
+    (Sim.Stats.gauge (K.stats k) "resident_pages");
+  check_bool "tlb occupancy tracked" true (Sim.Stats.gauge (K.stats k) "tlb_entries" > 0);
+  K.munmap k p ~va ~len;
+  let summary = Os.Procfs.smaps_summary k p in
+  check_bool "unmap drains residency, hwm sticks" true
+    (Helpers.contains ~needle:"resident 0 pages (hwm 4)" summary)
+
 let test_mmap_file_private_cow () =
   let k, p = mk () in
   let fs = K.tmpfs k in
@@ -373,6 +393,7 @@ let suite =
     Alcotest.test_case "kernel: private file CoW" `Quick test_mmap_file_private_cow;
     Alcotest.test_case "procfs: shared-mapping PSS rounds to nearest" `Quick
       test_smaps_pss_shared_rounds;
+    Alcotest.test_case "procfs: smaps machine gauge roll-up" `Quick test_smaps_machine_gauges;
     Alcotest.test_case "kernel: file permission check" `Quick test_mmap_file_permission_check;
     Alcotest.test_case "kernel: munmap releases pages" `Quick test_munmap_releases;
     Alcotest.test_case "kernel: munmap drops file reference" `Quick test_munmap_file_drops_reference;

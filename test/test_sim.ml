@@ -126,6 +126,27 @@ let test_histogram () =
   Alcotest.(check (float 0.01)) "mean" 22.0 (Sim.Histogram.mean h);
   check_bool "p50 below p99" true (Sim.Histogram.percentile h 50.0 <= Sim.Histogram.percentile h 99.0)
 
+let test_histogram_rejects_negative () =
+  let h = Sim.Histogram.create () in
+  Sim.Histogram.observe h 3;
+  Alcotest.check_raises "latencies cannot be negative"
+    (Invalid_argument "Histogram.observe: negative sample") (fun () -> Sim.Histogram.observe h (-1));
+  check_int "rejected sample not recorded" 1 (Sim.Histogram.count h)
+
+let test_histogram_stddev () =
+  let h = Sim.Histogram.create () in
+  check_bool "empty stddev is 0" true (Sim.Histogram.stddev h = 0.0);
+  Sim.Histogram.observe h 5;
+  check_bool "singleton stddev is 0" true (Sim.Histogram.stddev h = 0.0);
+  (* [2; 4; 4; 4; 5; 5; 7; 9] is the classic population-stddev example:
+     mean 5, stddev exactly 2. *)
+  let h = Sim.Histogram.create () in
+  List.iter (Sim.Histogram.observe h) [ 2; 4; 4; 4; 5; 5; 7; 9 ];
+  Alcotest.(check (float 1e-9)) "population stddev" 2.0 (Sim.Histogram.stddev h);
+  match Sim.Json.member (Sim.Histogram.to_json h) "stddev" with
+  | Some (Sim.Json.Float v) -> Alcotest.(check (float 1e-9)) "stddev exported" 2.0 v
+  | _ -> Alcotest.fail "stddev field missing from to_json"
+
 let test_table_render () =
   let t = Sim.Table.create ~title:"demo" ~columns:[ "a"; "b" ] in
   Sim.Table.add_row t [ "1"; "2" ];
@@ -273,6 +294,9 @@ let suite =
     Alcotest.test_case "cost model: conversions" `Quick test_cost_model_conversion;
     Alcotest.test_case "stats: counters and diff" `Quick test_stats;
     Alcotest.test_case "histogram: moments" `Quick test_histogram;
+    Alcotest.test_case "histogram: negative samples rejected" `Quick
+      test_histogram_rejects_negative;
+    Alcotest.test_case "histogram: stddev" `Quick test_histogram_stddev;
     Alcotest.test_case "histogram: percentile clamped to observed range" `Quick
       test_histogram_percentile_clamped;
     Alcotest.test_case "table: renders" `Quick test_table_render;

@@ -112,6 +112,29 @@ let test_json_events_limit () =
     Alcotest.(check (list int)) "keeps the newest events" [ 4; 5 ] args
   | _ -> Alcotest.fail "events field missing"
 
+let test_json_op_ring_occupancy () =
+  let tr, clock = mk () in
+  (* 6 "hot" records against capacity 4: the ring wraps, so the op summary
+     must distinguish total recorded from events still in the ring. *)
+  for i = 1 to 6 do
+    let start = Sim.Clock.now clock in
+    Sim.Clock.charge clock 1;
+    Sim.Trace.record tr ~op:"hot" ~start ~arg:i ()
+  done;
+  let op_field name =
+    match Sim.Json.member (Sim.Trace.to_json tr) "ops" with
+    | Some ops -> (
+      match Sim.Json.member ops "hot" with
+      | Some summary -> (
+        match Sim.Json.member summary name with
+        | Some (Sim.Json.Int n) -> n
+        | _ -> Alcotest.fail (name ^ " missing from op summary"))
+      | None -> Alcotest.fail "hot op missing")
+    | None -> Alcotest.fail "ops object missing"
+  in
+  check_int "recorded counts wrapped events" 6 (op_field "recorded");
+  check_int "in_ring capped at capacity" 4 (op_field "in_ring")
+
 let suite =
   [
     Alcotest.test_case "trace: create validation" `Quick test_create_validation;
@@ -121,4 +144,5 @@ let suite =
     Alcotest.test_case "trace: disabled sentinel" `Quick test_disabled_sentinel;
     Alcotest.test_case "trace: JSON well-formed" `Quick test_json_well_formed;
     Alcotest.test_case "trace: JSON events_limit" `Quick test_json_events_limit;
+    Alcotest.test_case "trace: JSON op recorded vs in_ring" `Quick test_json_op_ring_occupancy;
   ]
