@@ -47,4 +47,12 @@ profile:
 	dune exec bin/o1mem_cli.exe -- profile --backend malloc
 	dune exec bin/o1mem_cli.exe -- profile --backend fom
 
-.PHONY: all test test-verbose bench examples clean check bench-diff throughput profile
+# R1 chaos matrix: crash-at-every-step explorers plus every named fault
+# plan under a fixed seed matrix. Exit 1 on any unexpected invariant
+# violation (see EXPERIMENTS.md "R1 — does it survive?"). CI runs this.
+chaos:
+	dune exec bin/o1mem_cli.exe -- faults --seed 42 --plan each --explore
+	dune exec bin/o1mem_cli.exe -- faults --seed 7 --plan each
+	dune exec bin/o1mem_cli.exe -- faults --seed 2017 --plan each
+
+.PHONY: all test test-verbose bench examples clean check bench-diff throughput profile chaos

@@ -551,7 +551,7 @@ let tab_fragmentation () =
        Fs.Memfs.extend fs a ~bytes_wanted:(Sim.Units.kib 128);
        Fs.Memfs.extend fs b ~bytes_wanted:(Sim.Units.kib 128)
      done
-   with Failure _ -> ());
+   with Sim.Errno.Error (Sim.Errno.ENOSPC, _) -> ());
   Fs.Memfs.unlink fs "/frag-b";
   measure "fragmented (holes of 128KiB)";
   (* The workload that fragmented the disk winds down (most of /frag-a is

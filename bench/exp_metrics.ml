@@ -60,7 +60,7 @@ let run_workload () =
   O1mem.Fom.free fom p2 g;
   k
 
-let schema_version = "o1mem.metrics/4"
+let schema_version = "o1mem.metrics/5"
 
 (* Provenance: everything a reader needs to decide whether two exports are
    comparable. Runs under different cost models or trace capacities would
@@ -84,6 +84,7 @@ let to_json ?events_limit k =
       ("trace", Sim.Trace.to_json ?events_limit (K.trace k));
       ("complexity", Exp_complexity.to_json ());
       ("profile", Exp_profile.to_json ());
+      ("faults", Exp_faults.to_json ());
     ]
 
 let run_to_json ?events_limit () = to_json ?events_limit (run_workload ())

@@ -23,7 +23,9 @@ let run_tables () =
   separator "Ablations (A1..A9)";
   Experiments.Exp_ablation.run ();
   separator "Complexity classes (C1)";
-  Experiments.Exp_complexity.run ()
+  Experiments.Exp_complexity.run ();
+  separator "Robustness (R1)";
+  Experiments.Exp_faults.run ()
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel: host wall-clock of each experiment's core operation.      *)

@@ -4,7 +4,8 @@
    o1mem_cli study ...                run the FS-utilization fleet model
    o1mem_cli walkrefs ...             translation reference counts
    o1mem_cli simulate ...             one-off alloc+touch measurement
-   o1mem_cli metrics ...              run the traced workload, print JSON *)
+   o1mem_cli metrics ...              run the traced workload, print JSON
+   o1mem_cli faults ...               fault injection, crash explorers *)
 
 open Cmdliner
 
@@ -240,6 +241,82 @@ let top_cmd =
   let k_spans = Arg.(value & opt int 10 & info [ "spans" ] ~doc:"Spans to show.") in
   Cmd.v (Cmd.info "top" ~doc) Term.(const top $ backend $ ops $ k_spans)
 
+(* ----------------------------- faults ------------------------------ *)
+
+(* Exit codes: 0 = survived (explorers consistent, plan behaved as its
+   contract says), 1 = an invariant was violated — or a plan that is
+   *supposed* to break TLB coherence failed to surface any violation,
+   which would mean the checker has gone blind. *)
+let faults seed plan rounds explore =
+  let failed = ref false in
+  if explore then begin
+    let report label (r : O1mem.Chaos.explorer_report) =
+      Printf.printf "%-4s explorer: %d durable steps (%d fences), %d crashes, %d violations\n"
+        label r.O1mem.Chaos.steps r.O1mem.Chaos.fences r.O1mem.Chaos.crashes
+        (List.length r.O1mem.Chaos.violations);
+      List.iter (fun v -> Printf.printf "    VIOLATION %s\n" v) r.O1mem.Chaos.violations;
+      if r.O1mem.Chaos.violations <> [] || r.O1mem.Chaos.steps = 0 then failed := true
+    in
+    report "wal" (O1mem.Chaos.explore_wal ~seed ());
+    report "fs" (O1mem.Chaos.explore_fs ~seed ());
+    print_newline ()
+  end;
+  let outcomes =
+    let run p = O1mem.Chaos.run_plan ~seed ~rounds ~plan:p () in
+    match plan with
+    | "each" -> List.map run O1mem.Chaos.plans
+    | p -> (
+      try [ run p ]
+      with Invalid_argument msg ->
+        Printf.eprintf "o1mem_cli faults: %s\n" msg;
+        exit 2)
+  in
+  List.iter
+    (fun (o : O1mem.Chaos.plan_outcome) ->
+      Printf.printf "plan %-6s seed %d: %d injected over %d rounds\n" o.O1mem.Chaos.plan
+        o.O1mem.Chaos.seed o.O1mem.Chaos.injected_total rounds;
+      List.iter
+        (fun (site, evals, injected) ->
+          if evals > 0 then Printf.printf "  %-20s %6d evaluated %6d injected\n" site evals injected)
+        o.O1mem.Chaos.sites;
+      Printf.printf
+        "  degradation: %d ENOMEM, %d ENOSPC, %d reclaim retries (%d frames), %d OOMs\n"
+        o.O1mem.Chaos.enomem o.O1mem.Chaos.enospc o.O1mem.Chaos.retried
+        o.O1mem.Chaos.reclaimed_frames o.O1mem.Chaos.ooms;
+      let expects = O1mem.Chaos.plan_expects_violations o.O1mem.Chaos.plan in
+      (match (o.O1mem.Chaos.checks, expects) with
+      | [], false -> Printf.printf "  invariants: all hold\n"
+      | [], true ->
+        Printf.printf "  invariants: EXPECTED violations, found none — checker blind?\n";
+        failed := true
+      | vs, true ->
+        Printf.printf "  invariants: %d violations (expected — lost shootdowns detected)\n"
+          (List.length vs)
+      | vs, false ->
+        Printf.printf "  invariants: %d UNEXPECTED violations\n" (List.length vs);
+        List.iter (fun v -> Printf.printf "    %s\n" (Os.Check.violation_to_string v)) vs;
+        failed := true))
+    outcomes;
+  if !failed then exit 1
+
+let faults_cmd =
+  let doc =
+    "Run the fault-injection plane: optional crash-at-every-step explorers (WAL and FOM \
+     file-system recovery) plus a named sustained-pressure plan, printing injected-site counts, \
+     typed degradation outcomes, and the cross-layer invariant verdict"
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic injection seed.") in
+  let plan =
+    Arg.(
+      value & opt string "all"
+      & info [ "plan" ] ~docv:"PLAN" ~doc:"alloc|nvm|quota|tlb|all, or 'each' to run every plan.")
+  in
+  let rounds = Arg.(value & opt int 16 & info [ "rounds" ] ~doc:"Workload rounds per plan.") in
+  let explore =
+    Arg.(value & flag & info [ "explore" ] ~doc:"Also run the crash-at-every-step explorers.")
+  in
+  Cmd.v (Cmd.info "faults" ~doc) Term.(const faults $ seed $ plan $ rounds $ explore)
+
 (* --------------------------- bench-diff ---------------------------- *)
 
 (* Exit codes: 0 = no regression, 1 = regression or class downgrade,
@@ -397,5 +474,5 @@ let () =
        (Cmd.group info
           [
             experiments_cmd; study_cmd; walkrefs_cmd; simulate_cmd; churn_cmd; metrics_cmd;
-            profile_cmd; top_cmd; bench_diff_cmd;
+            profile_cmd; top_cmd; faults_cmd; bench_diff_cmd;
           ]))

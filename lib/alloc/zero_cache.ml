@@ -21,6 +21,16 @@ let take t ~order =
     Sim.Stats.incr stats "zero_cache_miss";
     None
   end
+  else if
+    Sim.Fault_inject.fires
+      (Sim.Trace.faults (Physmem.Phys_mem.trace t.mem))
+      ~site:Sim.Fault_inject.site_zero_cache_empty
+  then begin
+    (* Injected exhaustion: pretend the cache is dry so callers exercise
+       their slow path. *)
+    Sim.Stats.incr stats "zero_cache_miss";
+    None
+  end
   else
     match Queue.take_opt t.queues.(order) with
     | Some frame ->
@@ -55,3 +65,5 @@ let refill t ~budget_frames =
 
 let available t ~order =
   if order < 0 || order >= Array.length t.queues then 0 else Queue.length t.queues.(order)
+
+let depth t = Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.queues

@@ -16,7 +16,8 @@ val take : t -> order:int -> Physmem.Frame.t option
 (** Pop a pre-zeroed block of 2^[order] frames. On a hit charges
     [zero_cache_pop] and bumps "zero_cache_hit"; on a miss (empty queue
     or order out of range) bumps "zero_cache_miss" and returns [None] —
-    the caller falls back to eager zeroing. *)
+    the caller falls back to eager zeroing. The ["zero_cache_empty"]
+    fault-injection site forces a miss. *)
 
 val put : t -> order:int -> Physmem.Frame.t -> unit
 (** Stash an already-zeroed block for later handout (no charge — the
@@ -28,3 +29,7 @@ val refill : t -> budget_frames:int -> int
     of frames zeroed this step. Call from idle/housekeeping paths. *)
 
 val available : t -> order:int -> int
+
+val depth : t -> int
+(** Cached frames across all orders — the true level of the
+    "zero_cache_depth" gauge, used to re-baseline it after a crash. *)

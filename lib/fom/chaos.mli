@@ -1,0 +1,72 @@
+(** Crash-at-every-step exploration and named fault plans.
+
+    Two explorers drive the "does it survive?" question exhaustively:
+    each first runs its workload to completion with the ["durable_step"]
+    site unarmed — the evaluation count enumerates every clwb/sfence
+    boundary — then replays the workload once per boundary with
+    [On_nth k] armed, loses power at exactly that point, recovers, and
+    checks invariants. Determinism (same seed, same workload) makes the
+    k-th replay identical to the baseline up to the crash.
+
+    {!run_plan} is the sustained-pressure side: probabilistic injection
+    across a named set of sites while a mixed VM + FOM workload runs,
+    counting typed degradations (ENOMEM / ENOSPC), reclaim retries and
+    OOMs, with a final {!Os.Check} verdict. *)
+
+type explorer_report = {
+  steps : int;  (** durable-step boundaries the workload crosses *)
+  fences : int;  (** sfence count of the baseline pass *)
+  crashes : int;  (** replays performed — one crash per boundary *)
+  violations : string list;  (** empty = every recovery was consistent *)
+}
+
+val explore_wal : ?records:int -> ?seed:int -> unit -> explorer_report
+(** Append [records] (default 6) deterministic records to a bare WAL on
+    a standalone NVM machine, crashing after every durable step.
+    Invariants per crash: acknowledged appends survive recovery
+    (committed-prefix durability; recovery may keep one extra record
+    whose post-marker fence was the crash point — durable but
+    unacknowledged), the recovered log is a byte-exact prefix of the
+    attempted log (no torn record), and it accepts further appends. *)
+
+val explore_fs : ?files:int -> ?seed:int -> unit -> explorer_report
+(** Allocate [files] (default 5) FOM regions — alternating persistent
+    named files and volatile temporaries — on a full kernel + FOM
+    machine, crashing inside every journaled durable step. Invariants
+    per crash: persistent files whose write completed survive with
+    their data intact, volatile files are gone, masters are pruned iff
+    their file died (kept + dropped = pre-crash count, second prune
+    finds nothing), the cross-layer {!Os.Check} passes, and the
+    recovered machine still allocates. *)
+
+(** {1 Named fault plans} *)
+
+type plan_outcome = {
+  plan : string;
+  seed : int;
+  sites : (string * int * int) list;
+      (** (site, evaluations, injected) for every consulted site *)
+  injected_total : int;
+  enomem : int;  (** operations that degraded to a typed ENOMEM *)
+  enospc : int;  (** operations that degraded to a typed ENOSPC *)
+  retried : int;  (** allocations saved by the reclaim-then-retry pass *)
+  reclaimed_frames : int;
+  ooms : int;  (** allocations that still failed after reclaim *)
+  checks : Os.Check.violation list;
+}
+
+val plans : string list
+(** ["alloc"] (frame-allocation failures + forced zero-cache misses),
+    ["nvm"] (torn lines, bit flips, partial WAL flushes), ["quota"]
+    (refused quota charges), ["tlb"] (lost shootdown acks), ["all"]. *)
+
+val plan_expects_violations : string -> bool
+(** The tlb-bearing plans deliberately break TLB coherence; the
+    invariant checker {e finding} those stale entries is their pass
+    condition. *)
+
+val run_plan : ?seed:int -> ?rounds:int -> plan:string -> unit -> plan_outcome
+(** Run the named plan over [rounds] (default 16) iterations of a mixed
+    anonymous-VM + FOM workload. Operations may only fail with typed
+    {!Sim.Errno.Error}s — anything else escaping is a bug and
+    propagates. Raises [Invalid_argument] on an unknown plan name. *)

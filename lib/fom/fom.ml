@@ -128,7 +128,13 @@ let alloc t proc ?name ?persistence ?strategy ?(guard = false) ~len ~prot () =
       (p, true, Option.value persistence ~default:Fs.Inode.Volatile)
   in
   let ino = Fs.Memfs.create_file t.fs path ~persistence in
-  Fs.Memfs.extend t.fs ino ~bytes_wanted:len;
+  (* ENOSPC degrades gracefully: undo the create so the namespace holds no
+     empty husk, then let the typed error surface to the caller. *)
+  (try Fs.Memfs.extend t.fs ino ~bytes_wanted:len
+   with Sim.Errno.Error (Sim.Errno.ENOSPC, _) as e ->
+     Fs.Memfs.unlink t.fs path;
+     Sim.Stats.incr (Os.Kernel.stats t.kernel) "fom_alloc_enospc";
+     raise e);
   Fs.Memfs.set_prot t.fs ino prot;
   Fs.Memfs.open_file t.fs ino;
   let va, len, graft_windows, graft_window_bytes = install_mapping t proc ~ino ~prot ~strategy in

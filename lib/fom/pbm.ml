@@ -17,7 +17,7 @@ let addr_of_va va = va - pbm_offset
 let alloc_pt_frame kernel () =
   match Alloc.Buddy.alloc (Os.Kernel.buddy kernel) ~order:0 with
   | Some pfn -> pfn
-  | None -> failwith "OOM: PBM page-table frame"
+  | None -> Sim.Errno.fail Sim.Errno.ENOMEM "PBM page-table frame"
 
 let create kernel =
   let clock = Os.Kernel.clock kernel in

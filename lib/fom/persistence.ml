@@ -11,6 +11,7 @@ let crash fom =
   Physmem.Phys_mem.crash (Os.Kernel.mem kernel);
   Fs.Memfs.crash (Os.Kernel.tmpfs kernel);
   (match Os.Kernel.pmfs kernel with Some p -> Fs.Memfs.crash p | None -> ());
+  Os.Kernel.reset_after_crash kernel;
   Fom.reset_after_crash fom;
   Sim.Stats.incr (Os.Kernel.stats kernel) "machine_crash"
 
@@ -23,6 +24,11 @@ let recover fom =
   in
   let dropped = Shared_pt.prune_dead (Fom.shared_pt fom) ~fs:(Fom.fs fom) in
   let kept = Shared_pt.master_count (Fom.shared_pt fom) in
+  (* Re-baseline the journal gauge: recovery replayed/kept the WAL, and
+     the gauge must reflect the post-recovery log, not the pre-crash one. *)
+  (match Os.Kernel.pmfs kernel with
+  | Some p -> Sim.Stats.set_gauge (Os.Kernel.stats kernel) "wal_bytes" (Fs.Memfs.journal_bytes p)
+  | None -> ());
   {
     files_scanned;
     masters_kept = kept;

@@ -18,7 +18,7 @@ let create kernel = { kernel; masters = Hashtbl.create 16 }
 let alloc_pt_frame t () =
   match Alloc.Buddy.alloc (Os.Kernel.buddy t.kernel) ~order:0 with
   | Some pfn -> pfn
-  | None -> failwith "OOM: master page-table frame"
+  | None -> Sim.Errno.fail Sim.Errno.ENOMEM "master page-table frame"
 
 let build_master t ~fs ~ino ~prot =
   let clock = Os.Kernel.clock t.kernel in

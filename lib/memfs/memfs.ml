@@ -69,24 +69,30 @@ let create ~mem ~first ~count ~mode ?quota_frames ?(erase = Eager_zero) () =
    it fills, the file system checkpoints (in a real PMFS, writing the
    full metadata image; here: a charge proportional to metadata size)
    and the log restarts. *)
-let rec journal_op t record =
+let checkpoint t wal =
+  (* Checkpoint: pay to rewrite the metadata image durably. *)
+  let model = Sim.Clock.model (clock t) in
+  let meta_bytes = Hashtbl.fold (fun _ n acc -> acc + Inode.metadata_bytes n) t.inodes 0 in
+  Sim.Clock.charge (clock t)
+    (Sim.Cost_model.copy_cost model ~bytes:meta_bytes
+    + (meta_bytes / 64 * model.Sim.Cost_model.mem_ref_nvm_write));
+  Wal.reset wal;
+  t.checkpoints <- t.checkpoints + 1;
+  Sim.Stats.incr (stats t) "fs_checkpoint"
+
+let journal_op t record =
   match t.journal with
   | None -> ()
   | Some wal ->
-    (try Wal.append wal record
-     with Failure _ ->
-       (* Checkpoint: pay to rewrite the metadata image durably. *)
-       let model = Sim.Clock.model (clock t) in
-       let meta_bytes =
-         Hashtbl.fold (fun _ n acc -> acc + Inode.metadata_bytes n) t.inodes 0
-       in
-       Sim.Clock.charge (clock t)
-         (Sim.Cost_model.copy_cost model ~bytes:meta_bytes
-         + (meta_bytes / 64 * model.Sim.Cost_model.mem_ref_nvm_write));
-       Wal.reset wal;
-       t.checkpoints <- t.checkpoints + 1;
-       Sim.Stats.incr (stats t) "fs_checkpoint";
-       journal_op t record);
+    (match Wal.append wal record with
+    | Ok () -> ()
+    | Error Wal.Wal_full -> (
+      checkpoint t wal;
+      (* One retry against the emptied log: a record that still doesn't
+         fit can never fit, so surface ENOSPC instead of looping. *)
+      match Wal.append wal record with
+      | Ok () -> ()
+      | Error Wal.Wal_full -> Sim.Errno.fail Sim.Errno.ENOSPC "Memfs.journal_op: record exceeds WAL capacity"));
     Sim.Stats.set_gauge (stats t) "wal_bytes" (Wal.used_bytes wal)
 
 let journal_records t = match t.journal with None -> [] | Some wal -> Wal.entries wal
@@ -287,11 +293,16 @@ let extend t ino ~bytes_wanted =
   let tree = Inode.extents node in
   let pages = Sim.Units.pages_of_bytes bytes_wanted in
   if pages > 0 then begin
-    if not (Quota.try_charge t.quota ~frames:pages) then failwith "ENOSPC";
+    (* Injected quota refusal exercises the same ENOSPC path a genuinely
+       full quota would. *)
+    if
+      Sim.Fault_inject.fires (Sim.Trace.faults (trace t)) ~site:Sim.Fault_inject.site_quota_enospc
+      || not (Quota.try_charge t.quota ~frames:pages)
+    then Sim.Errno.fail Sim.Errno.ENOSPC "Memfs.extend: quota";
     match allocate_extents t pages with
     | None ->
       Quota.release t.quota ~frames:pages;
-      failwith "ENOSPC"
+      Sim.Errno.fail Sim.Errno.ENOSPC "Memfs.extend: no extents"
     | Some runs ->
       Sim.Stats.incr (stats t) "fs_extend";
       List.iter
@@ -565,6 +576,17 @@ let recover t =
 let total_bytes t = Alloc.Bitmap_alloc.total_frames t.space * Sim.Units.page_size
 let free_bytes t = Alloc.Bitmap_alloc.free_frames t.space * Sim.Units.page_size
 let used_bytes t = total_bytes t - free_bytes t
+let quota_used_frames t = Quota.used t.quota
+
+let data_pages t =
+  Hashtbl.fold
+    (fun _ node acc ->
+      match node.Inode.kind with
+      | Inode.Regular tree -> acc + Extent_tree.pages tree
+      | Inode.Dir _ -> acc)
+    t.inodes 0
+
+let journal_bytes t = match t.journal with None -> 0 | Some wal -> Wal.used_bytes wal
 let utilization t = Alloc.Bitmap_alloc.utilization t.space
 
 let metadata_bytes t =

@@ -90,8 +90,9 @@ val extend : t -> int -> bytes_wanted:int -> unit
 (** Grow a file by [bytes_wanted] (rounded up to whole pages). Allocates
     the fewest contiguous extents the free bitmap allows — one, in the
     common far-from-full case — and zeroes the new frames.
-    Raises [Out_of_memory]-like [Failure "ENOSPC"] when space or quota is
-    exhausted. *)
+    Raises [Sim.Errno.Error (ENOSPC, _)] when space or quota is exhausted
+    (or the ["quota_enospc"] fault-injection site fires); the file and
+    quota are left unchanged. *)
 
 val truncate : t -> int -> bytes:int -> unit
 (** Shrink (or no-op if already smaller); freed frames return to the
@@ -160,3 +161,14 @@ val metadata_bytes : t -> int
 val file_count : t -> int
 val iter_files : t -> (string -> Inode.t -> unit) -> unit
 (** Iterate (path, inode) over all regular files. *)
+
+val quota_used_frames : t -> int
+(** Frames the quota believes are charged. The invariant checker cross
+    checks this against {!data_pages} and the space bitmap. *)
+
+val data_pages : t -> int
+(** Pages held by every inode's extent tree. *)
+
+val journal_bytes : t -> int
+(** Bytes used in the metadata WAL (0 without a journal) — the true level
+    of the "wal_bytes" gauge. *)

@@ -37,29 +37,48 @@ let create ~nvm ~base ~capacity =
   if capacity < record_span 1 then invalid_arg "Wal.create: capacity too small";
   { nvm; base; capacity; cursor = 0; records = [] }
 
+type error = Wal_full
+
 let append ?(durable = true) t payload =
   if payload = "" then invalid_arg "Wal.append: empty record";
   let span = record_span (String.length payload) in
-  if t.cursor + span > t.capacity then failwith "WAL full";
-  let addr = t.base + t.cursor in
-  let mem = Physmem.Nvm.mem t.nvm in
-  ignore mem;
-  (* 1. Header + payload. *)
-  Physmem.Nvm.write_persistent t.nvm ~addr
-    (le32 (String.length payload) ^ le32 (checksum payload) ^ payload);
-  if durable then begin
-    Physmem.Nvm.flush t.nvm ~addr ~len:(header_bytes + String.length payload);
-    Physmem.Nvm.fence t.nvm
-  end;
-  (* 2. Commit marker, strictly after the payload is durable. *)
-  let marker_addr = addr + header_bytes + String.length payload in
-  Physmem.Nvm.write_persistent t.nvm ~addr:marker_addr (String.make 1 marker);
-  if durable then begin
-    Physmem.Nvm.flush t.nvm ~addr:marker_addr ~len:1;
-    Physmem.Nvm.fence t.nvm
-  end;
-  t.cursor <- t.cursor + span;
-  t.records <- payload :: t.records
+  if t.cursor + span > t.capacity then Error Wal_full
+  else begin
+    let addr = t.base + t.cursor in
+    (* 1. Header + payload. *)
+    Physmem.Nvm.write_persistent t.nvm ~addr
+      (le32 (String.length payload) ^ le32 (checksum payload) ^ payload);
+    if durable then begin
+      let full_len = header_bytes + String.length payload in
+      (* Injected buggy flush loop: only the first half of the record's
+         bytes are flushed before the fence; a crash tears the rest. *)
+      let flush_len =
+        if
+          Sim.Fault_inject.fires
+            (Sim.Trace.faults (Physmem.Phys_mem.trace (Physmem.Nvm.mem t.nvm)))
+            ~site:Sim.Fault_inject.site_wal_partial_flush
+        then full_len / 2
+        else full_len
+      in
+      Physmem.Nvm.flush t.nvm ~addr ~len:flush_len;
+      Physmem.Nvm.fence t.nvm
+    end;
+    (* 2. Commit marker, strictly after the payload is durable. *)
+    let marker_addr = addr + header_bytes + String.length payload in
+    Physmem.Nvm.write_persistent t.nvm ~addr:marker_addr (String.make 1 marker);
+    if durable then begin
+      Physmem.Nvm.flush t.nvm ~addr:marker_addr ~len:1;
+      Physmem.Nvm.fence t.nvm
+    end;
+    t.cursor <- t.cursor + span;
+    t.records <- payload :: t.records;
+    Ok ()
+  end
+
+let append_exn ?durable t payload =
+  match append ?durable t payload with
+  | Ok () -> ()
+  | Error Wal_full -> Sim.Errno.fail Sim.Errno.ENOSPC "Wal.append"
 
 let entries t = List.rev t.records
 let entry_count t = List.length t.records

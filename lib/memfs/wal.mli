@@ -17,12 +17,21 @@ val create : nvm:Physmem.Nvm.t -> base:int -> capacity:int -> t
     the NVM region. Existing bytes are ignored (use {!recover} to read a
     log back after a crash). *)
 
-val append : ?durable:bool -> t -> string -> unit
+type error = Wal_full
+
+val append : ?durable:bool -> t -> string -> (unit, error) result
 (** Append one record. With [durable:true] (default) the payload is
     flushed and fenced before the commit marker, and the marker flushed
-    after — the record is durable when [append] returns. [durable:false]
-    skips every flush (a deliberately buggy fast path for crash tests).
-    Raises [Failure "WAL full"] when out of space. *)
+    after — the record is durable when [append] returns [Ok ()].
+    [durable:false] skips every flush (a deliberately buggy fast path for
+    crash tests). Returns [Error Wal_full] when out of space — the log is
+    unchanged and the caller decides (checkpoint + {!reset}, or surface
+    ENOSPC). The ["wal_partial_flush"] fault-injection site makes the
+    payload flush cover only half the record's bytes. *)
+
+val append_exn : ?durable:bool -> t -> string -> unit
+(** {!append}, raising [Sim.Errno.Error (ENOSPC, _)] when full — for
+    callers with no checkpoint story. *)
 
 val entries : t -> string list
 (** Committed records, oldest first. *)

@@ -136,6 +136,12 @@ let invalidate_page t ~va =
     sizes;
   Sim.Trace.record t.trace ~op:"tlb_shootdown" ~start ~arg:1 ()
 
+let iter t f =
+  Array.iter
+    (fun set ->
+      Array.iter (fun s -> if s.valid then f ~va:s.tag ~size:s.size ~pfn:s.pfn ~prot:s.prot) set)
+    t.data
+
 let entry_count t =
   Array.fold_left
     (fun acc set -> Array.fold_left (fun acc s -> if s.valid then acc + 1 else acc) acc set)

@@ -47,6 +47,14 @@ val flush : t -> unit
 
 val entry_count : t -> int
 
+val iter :
+  t ->
+  (va:int -> size:Page_size.t -> pfn:Physmem.Frame.t -> prot:Prot.t -> unit) ->
+  unit
+(** Visit every valid entry ([va] is the size-aligned tag). Host-side
+    introspection for the invariant checker: no cost is charged and no
+    LRU state is touched. *)
+
 val full_flush_threshold_pages : int
 (** Ranges of at least this many pages are invalidated with one full
     flush rather than per-page INVLPGs (Linux's tlb_single_page_flush

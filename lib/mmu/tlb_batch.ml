@@ -20,8 +20,17 @@ let flush t =
     let clock = Mmu.clock t.mmu in
     let start = Sim.Clock.now clock in
     let full = t.pages >= Tlb.full_flush_threshold_pages in
+    let plane = Sim.Trace.faults (Mmu.trace t.mmu) in
     if full then Mmu.flush_tlbs t.mmu
-    else List.iter (fun (va, len) -> Mmu.invalidate_range t.mmu ~va ~len) t.ranges;
+    else
+      List.iter
+        (fun (va, len) ->
+          (* Lost shootdown acknowledgement: this range's INVLPGs never
+             happen, leaving stale TLB entries for Check to find. *)
+          if Sim.Fault_inject.fires plane ~site:Sim.Fault_inject.site_tlb_ack_lost then
+            Sim.Stats.incr (Mmu.stats t.mmu) "tlb_ack_lost"
+          else Mmu.invalidate_range t.mmu ~va ~len)
+        t.ranges;
     Sim.Stats.incr (Mmu.stats t.mmu) "tlb_batch";
     Sim.Stats.add (Mmu.stats t.mmu) "tlb_batch_pages" t.pages;
     Sim.Trace.record (Mmu.trace t.mmu) ~op:"tlb_batch" ~start ~arg:t.pages

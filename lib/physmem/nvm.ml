@@ -26,23 +26,54 @@ let snapshot_line t line =
   if Phys_mem.valid_frame t.mem (Frame.of_addr addr) then
     Hashtbl.replace t.durable line (Bytes.to_string (Phys_mem.read t.mem ~addr ~len:64))
 
+let faults t = Sim.Trace.faults (Phys_mem.trace t.mem)
+
+(* An injected media fault: flip one bit of the just-snapshotted durable
+   line image, on the media and in the snapshot, so the corruption both
+   is live immediately and survives a crash. *)
+let corrupt_line t plane line =
+  match Hashtbl.find_opt t.durable line with
+  | None -> ()
+  | Some image ->
+    let i = Sim.Fault_inject.rand_int plane (String.length image) in
+    let bit = Sim.Fault_inject.rand_int plane 8 in
+    let b = Bytes.of_string image in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+    let image = Bytes.to_string b in
+    Hashtbl.replace t.durable line image;
+    Phys_mem.restore_range t.mem ~addr:(line * 64) image
+
 let flush t ~addr ~len =
   if len > 0 then begin
+    let plane = faults t in
     let first = line_of addr and last = line_of (addr + len - 1) in
+    (* Torn line: the first dirty line of this flush silently stays in the
+       cache hierarchy — a later crash reverts it. *)
+    let first =
+      if Sim.Fault_inject.fires plane ~site:Sim.Fault_inject.site_nvm_torn_line then first + 1
+      else first
+    in
     let model = Sim.Clock.model (Phys_mem.clock t.mem) in
     for line = first to last do
       if Hashtbl.mem t.unflushed line then begin
         Hashtbl.remove t.unflushed line;
         snapshot_line t line;
+        if Sim.Fault_inject.fires plane ~site:Sim.Fault_inject.site_nvm_bit_flip then
+          corrupt_line t plane line;
         Sim.Clock.charge (Phys_mem.clock t.mem) model.Sim.Cost_model.mem_ref_nvm_write;
         Sim.Stats.incr (Phys_mem.stats t.mem) "clwb"
       end
-    done
+    done;
+    (* One durable-step boundary per clwb batch: power can fail here. *)
+    if Sim.Fault_inject.fires plane ~site:Sim.Fault_inject.site_durable_step then
+      raise (Sim.Fault_inject.Injected_crash "clwb")
   end
 
 let fence t =
   Sim.Clock.charge (Phys_mem.clock t.mem) fence_cycles;
-  Sim.Stats.incr (Phys_mem.stats t.mem) "sfence"
+  Sim.Stats.incr (Phys_mem.stats t.mem) "sfence";
+  if Sim.Fault_inject.fires (faults t) ~site:Sim.Fault_inject.site_durable_step then
+    raise (Sim.Fault_inject.Injected_crash "sfence")
 
 let unflushed_lines t = Hashtbl.length t.unflushed
 

@@ -14,11 +14,16 @@ val write_persistent : t -> addr:int -> string -> unit
 
 val flush : t -> addr:int -> len:int -> unit
 (** Flush the covered cache lines (clwb): charges one NVM write per line
-    and marks them durable. *)
+    and marks them durable. Consults the fault plane attached to the
+    memory's trace: ["nvm_torn_line"] leaves the first dirty line
+    unflushed, ["nvm_bit_flip"] corrupts one bit of a flushed line, and
+    ["durable_step"] raises {!Sim.Fault_inject.Injected_crash} after the
+    batch (one durable-step boundary per flush call). *)
 
 val fence : t -> unit
 (** Store fence (sfence): charges a small fixed cost; after a fence,
-    previously flushed lines are guaranteed durable. *)
+    previously flushed lines are guaranteed durable. Each fence is a
+    ["durable_step"] boundary for the crash explorer. *)
 
 val unflushed_lines : t -> int
 (** Lines written through {!write_persistent} but not yet flushed. *)

@@ -1,0 +1,18 @@
+type t = ENOMEM | ENOSPC | EIO | EAGAIN
+
+let to_string = function
+  | ENOMEM -> "ENOMEM"
+  | ENOSPC -> "ENOSPC"
+  | EIO -> "EIO"
+  | EAGAIN -> "EAGAIN"
+
+exception Error of t * string
+
+let fail errno what = raise (Error (errno, what))
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+let () =
+  Printexc.register_printer (function
+    | Error (e, what) -> Some (Printf.sprintf "Sim.Errno.Error(%s, %S)" (to_string e) what)
+    | _ -> None)

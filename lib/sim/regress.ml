@@ -139,6 +139,54 @@ let compare_complexity acc old_doc new_doc =
       | None, None -> ())
     (union_keys old_ops new_ops)
 
+(* The "faults" section (R1): a recursive numeric walk over its nested
+   objects. Everything in it runs on the virtual clock, so any drift is a
+   code change. Two leaves gate specially: a recovery "class" string acts
+   like a complexity class (Downgraded on rank increase), and a boolean
+   flipping to false (e.g. "zero_cost_when_off") is a regression. *)
+let rec compare_faults_obj acc ~threshold ~section old_fields new_fields =
+  List.iter
+    (fun k ->
+      match (List.assoc_opt k old_fields, List.assoc_opt k new_fields) with
+      | Some (Json.Obj o), Some (Json.Obj n) ->
+        compare_faults_obj acc ~threshold ~section:(section ^ "." ^ k) o n
+      | Some (Json.Bool o), Some (Json.Bool n) ->
+        acc.n <- acc.n + 1;
+        if o <> n then
+          emit acc
+            {
+              section;
+              key = k;
+              old_v = string_of_bool o;
+              new_v = string_of_bool n;
+              pct = None;
+              status = (if n then Improved else Regressed);
+            }
+      | Some (Json.String co), Some (Json.String cn) when k = "class" ->
+        acc.n <- acc.n + 1;
+        if co <> cn then begin
+          let status =
+            match (Complexity.cls_of_name co, Complexity.cls_of_name cn) with
+            | Some a, Some b ->
+              if Complexity.rank b > Complexity.rank a then Downgraded else Upgraded
+            | _ -> Downgraded (* unknown class names: fail safe *)
+          in
+          emit acc { section; key = k; old_v = co; new_v = cn; pct = None; status }
+        end
+      | Some o, Some n -> (
+        match (number o, number n) with
+        | Some fo, Some fn -> numeric acc ~threshold ~section ~key:k fo fn
+        | _ -> ())
+      | Some o, None -> one_sided acc ~section ~key:k ~status:Removed o
+      | None, Some n -> one_sided acc ~section ~key:k ~status:Added n
+      | None, None -> ())
+    (union_keys old_fields new_fields)
+
+let compare_faults acc ~threshold old_doc new_doc =
+  match (path old_doc [ "faults" ], path new_doc [ "faults" ]) with
+  | None, None -> ()
+  | o, n -> compare_faults_obj acc ~threshold ~section:"faults" (fields o) (fields n)
+
 (* Wall-clock ops/sec per scenario: direction is inverted (lower = worse)
    and the numbers are real time, hence noisy — drops only count as
    regressions when the caller opts in with [gate]. *)
@@ -204,6 +252,7 @@ let compare_docs ?(threshold_pct = 10.0) ?(gate_throughput = false) ~old_doc ~ne
         (fields (Json.member new_doc "stats"));
       compare_latency acc ~threshold:threshold_pct old_doc new_doc;
       compare_complexity acc old_doc new_doc;
+      compare_faults acc ~threshold:threshold_pct old_doc new_doc;
       compare_throughput acc ~threshold:threshold_pct ~gate:gate_throughput old_doc new_doc;
       Ok { threshold_pct; compared = acc.n; deltas = List.rev acc.rows })
 

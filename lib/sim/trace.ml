@@ -10,6 +10,7 @@ type t = {
   mutable recorded : int; (* total events ever recorded, ring or not *)
   latencies : (string, Histogram.t) Hashtbl.t;
   mutable profile : Profile.t; (* cycle-attribution profiler, if attached *)
+  mutable faults : Fault_inject.t; (* fault-injection plane, if attached *)
 }
 
 let default_capacity = 4096
@@ -22,10 +23,18 @@ let create ~clock ?(capacity = default_capacity) () =
     recorded = 0;
     latencies = Hashtbl.create 32;
     profile = Profile.disabled;
+    faults = Fault_inject.disabled;
   }
 
 let disabled =
-  { clock = None; ring = [||]; recorded = 0; latencies = Hashtbl.create 1; profile = Profile.disabled }
+  {
+    clock = None;
+    ring = [||];
+    recorded = 0;
+    latencies = Hashtbl.create 1;
+    profile = Profile.disabled;
+    faults = Fault_inject.disabled;
+  }
 
 let enabled t = t.clock <> None
 
@@ -34,6 +43,8 @@ let profile t = t.profile
 let attach_profile t p =
   if not (enabled t) then invalid_arg "Trace.attach_profile: disabled trace";
   t.profile <- p
+
+let faults t = t.faults
 let capacity t = Array.length t.ring
 let recorded t = t.recorded
 let dropped t = max 0 (t.recorded - Array.length t.ring)
@@ -54,6 +65,16 @@ let record t ~op ~start ?(arg = 0) ?(outcome = "ok") () =
     t.ring.(t.recorded mod Array.length t.ring) <- Some { op; start; finish; arg; outcome };
     t.recorded <- t.recorded + 1;
     Histogram.observe (latency_for t op) (max 0 (finish - start))
+
+let attach_faults t f =
+  if not (enabled t) then invalid_arg "Trace.attach_faults: disabled trace";
+  t.faults <- f;
+  (* Every injection shows up as a zero-length "fault_inject" event whose
+     outcome names the site. *)
+  Fault_inject.set_reporter f (fun site ->
+      match t.clock with
+      | None -> ()
+      | Some clock -> record t ~op:"fault_inject" ~start:(Clock.now clock) ~outcome:site ())
 
 let span t ~op ?(arg = 0) ?outcome f =
   match t.clock with

@@ -39,6 +39,18 @@ val attach_profile : t -> Profile.t -> unit
     attributing spans. Raises [Invalid_argument] on {!disabled} (the
     sentinel is shared machine-wide). *)
 
+val faults : t -> Fault_inject.t
+(** The fault-injection plane attached to this trace —
+    {!Fault_inject.disabled} until {!attach_faults}. Components consult
+    it at named sites with [Fault_inject.fires (Trace.faults trace)
+    ~site]; with no plane attached that is a single always-false branch. *)
+
+val attach_faults : t -> Fault_inject.t -> unit
+(** Attach a fault plane so every component sharing this trace starts
+    consulting it, and wire its reporter to record a ["fault_inject"]
+    trace event (outcome = site name) on each injection. Raises
+    [Invalid_argument] on {!disabled}. *)
+
 val enabled : t -> bool
 val capacity : t -> int
 

@@ -1,0 +1,186 @@
+(* Cross-layer invariant checking. Everything here is host-side
+   introspection: no cycles are charged, no counters move, so a check can
+   run after any scenario (or between fault injections) without
+   perturbing the measurement it is validating. *)
+
+type violation = { check : string; detail : string }
+
+let page_size = Sim.Units.page_size
+
+let violation_to_string v = Printf.sprintf "[%s] %s" v.check v.detail
+
+(* Count page-table references per frame, walking only ranges the VM
+   layer owns: VMAs and userfault registrations. FOM mappings (grafted
+   subtrees, range translations) deliberately bypass struct-page
+   accounting — the file system owns those frames — so they are out of
+   scope here. A leaf is counted once per address space at its
+   size-aligned base, matching how THP accounts a huge mapping as one
+   mapcount on the block head. *)
+let count_refs kernel procs =
+  let refs = Hashtbl.create 256 in
+  let seen = Hashtbl.create 256 in
+  let count_leaf pid ~va (leaf : Hw.Page_table.leaf) =
+    let base = Sim.Units.round_down va ~align:(Hw.Page_size.bytes leaf.Hw.Page_table.size) in
+    if not (Hashtbl.mem seen (pid, base)) then begin
+      Hashtbl.add seen (pid, base) ();
+      let pfn = leaf.Hw.Page_table.pfn in
+      Hashtbl.replace refs pfn (1 + Option.value (Hashtbl.find_opt refs pfn) ~default:0)
+    end
+  in
+  let scan_range pid table ~start ~len =
+    let rec go va =
+      if va < start + len then begin
+        (match Hw.Page_table.lookup table ~va with
+        | Some (_, leaf) -> count_leaf pid ~va leaf
+        | None -> ());
+        go (va + page_size)
+      end
+    in
+    go start
+  in
+  List.iter
+    (fun (proc : Proc.t) ->
+      let table = Address_space.page_table proc.Proc.aspace in
+      Address_space.iter_vmas proc.Proc.aspace (fun vma ->
+          scan_range proc.Proc.pid table ~start:vma.Vma.start ~len:vma.Vma.len))
+    procs;
+  Userfault.iter_regions (Kernel.userfault kernel) (fun ~pid ~va ~len ->
+      match List.find_opt (fun (p : Proc.t) -> p.Proc.pid = pid) procs with
+      | Some proc -> scan_range pid (Address_space.page_table proc.Proc.aspace) ~start:va ~len
+      | None -> ());
+  refs
+
+(* Page-table leaves must never grant an access the covering VMA
+   forbids. The converse is legal (CoW leaves are write-protected below
+   a writable VMA). *)
+let check_vma_pt acc procs =
+  List.iter
+    (fun (proc : Proc.t) ->
+      let table = Address_space.page_table proc.Proc.aspace in
+      Address_space.iter_vmas proc.Proc.aspace (fun vma ->
+          let rec go va =
+            if va < vma.Vma.start + vma.Vma.len then begin
+              (match Hw.Page_table.lookup table ~va with
+              | Some (_, leaf) ->
+                let lp = leaf.Hw.Page_table.prot and vp = vma.Vma.prot in
+                if
+                  (lp.Hw.Prot.read && not vp.Hw.Prot.read)
+                  || (lp.Hw.Prot.write && not vp.Hw.Prot.write)
+                  || (lp.Hw.Prot.exec && not vp.Hw.Prot.exec)
+                then
+                  acc :=
+                    {
+                      check = "vma_pt_prot";
+                      detail =
+                        Printf.sprintf "pid %d va 0x%x: leaf grants more than its VMA"
+                          proc.Proc.pid va;
+                    }
+                    :: !acc
+              | None -> ());
+              go (va + page_size)
+            end
+          in
+          go vma.Vma.start))
+    procs
+
+(* Frame refcounts vs mapcounts: every VM-owned mapping we can reach must
+   be accounted, and a mapping never outlives its reference. *)
+let check_mapcounts acc kernel procs =
+  let meta = Kernel.page_meta kernel in
+  let refs = count_refs kernel procs in
+  Page_meta.iter_counts meta (fun pfn ~refcount ~mapcount ->
+      let expected = Option.value (Hashtbl.find_opt refs pfn) ~default:0 in
+      if mapcount <> expected then
+        acc :=
+          {
+            check = "mapcount";
+            detail =
+              Printf.sprintf "frame %d: mapcount %d but %d page-table reference(s)" pfn mapcount
+                expected;
+          }
+          :: !acc;
+      if mapcount > refcount then
+        acc :=
+          {
+            check = "refcount";
+            detail = Printf.sprintf "frame %d: mapcount %d exceeds refcount %d" pfn mapcount refcount;
+          }
+          :: !acc);
+  (* Frames referenced by a page table but with no metadata record at all
+     would be invisible above; flag them too. *)
+  Hashtbl.iter
+    (fun pfn n ->
+      let mapcount = Page_meta.mapcount meta pfn in
+      if mapcount = 0 && n > 0 then
+        acc :=
+          {
+            check = "mapcount";
+            detail = Printf.sprintf "frame %d: %d page-table reference(s) but mapcount 0" pfn n;
+          }
+          :: !acc)
+    refs
+
+(* After every batched shootdown completed, no TLB may hold a translation
+   the page table no longer backs — a lost shootdown ack shows up here. *)
+let check_tlb acc procs =
+  List.iter
+    (fun (proc : Proc.t) ->
+      let table = Address_space.page_table proc.Proc.aspace in
+      let tlb = Hw.Mmu.tlb (Address_space.mmu proc.Proc.aspace) in
+      Hw.Tlb.iter tlb (fun ~va ~size ~pfn ~prot ->
+          let stale detail =
+            acc :=
+              { check = "tlb_coherence"; detail = Printf.sprintf "pid %d va 0x%x: %s" proc.Proc.pid va detail }
+              :: !acc
+          in
+          match Hw.Page_table.lookup table ~va with
+          | None -> stale "TLB entry with no page-table leaf"
+          | Some (_, leaf) ->
+            if leaf.Hw.Page_table.size <> size then stale "page-size mismatch"
+            else if leaf.Hw.Page_table.pfn <> pfn then stale "frame mismatch"
+            else if leaf.Hw.Page_table.prot <> prot then stale "protection mismatch"))
+    procs
+
+(* The quota, the extent trees and the space bitmap are three views of
+   the same resource; they must agree exactly. *)
+let check_fs acc ~name fs =
+  let quota = Fs.Memfs.quota_used_frames fs in
+  let extents = Fs.Memfs.data_pages fs in
+  let bitmap = Fs.Memfs.used_bytes fs / page_size in
+  if quota <> extents then
+    acc :=
+      {
+        check = "fs_accounting";
+        detail = Printf.sprintf "%s: quota holds %d frames, extent trees hold %d" name quota extents;
+      }
+      :: !acc;
+  if bitmap <> extents then
+    acc :=
+      {
+        check = "fs_accounting";
+        detail =
+          Printf.sprintf "%s: space bitmap has %d frames used, extent trees hold %d" name bitmap
+            extents;
+      }
+      :: !acc
+
+let run kernel =
+  let acc = ref [] in
+  let procs =
+    Hashtbl.fold (fun _ p l -> if p.Proc.alive then p :: l else l) (Kernel.processes kernel) []
+    |> List.sort (fun (a : Proc.t) b -> compare a.Proc.pid b.Proc.pid)
+  in
+  check_vma_pt acc procs;
+  check_mapcounts acc kernel procs;
+  check_tlb acc procs;
+  check_fs acc ~name:"tmpfs" (Kernel.tmpfs kernel);
+  (match Kernel.pmfs kernel with Some fs -> check_fs acc ~name:"pmfs" fs | None -> ());
+  List.rev !acc
+
+let pp ppf vs =
+  match vs with
+  | [] -> Format.fprintf ppf "all invariants hold"
+  | vs ->
+    Format.fprintf ppf "@[<v>%d invariant violation(s):@," (List.length vs);
+    List.iter (fun v -> Format.fprintf ppf "  %s@," (violation_to_string v)) vs;
+    Format.fprintf ppf "@]"

@@ -1,0 +1,29 @@
+(** Cross-layer invariant checker.
+
+    Verifies, after any scenario, that independently maintained views of
+    the machine still agree:
+
+    - {b vma_pt_prot} — no page-table leaf grants an access its covering
+      VMA forbids (write-protected CoW leaves below a writable VMA are
+      fine; the reverse is not).
+    - {b mapcount / refcount} — per frame, the number of page-table
+      references reachable through VMAs and userfault registrations
+      equals [Page_meta.mapcount], and no mapcount exceeds its refcount.
+      FOM mappings (grafts, range translations) are file-owned and
+      deliberately outside struct-page accounting, so they are excluded.
+    - {b tlb_coherence} — every valid TLB entry still matches the page
+      table (existence, frame, page size, protection): a lost batched
+      shootdown surfaces here.
+    - {b fs_accounting} — per file system, quota charge == extent-tree
+      pages == space-bitmap usage.
+
+    The checker is pure host-side introspection: it charges no cycles
+    and moves no counters, so running it never perturbs an experiment. *)
+
+type violation = { check : string; detail : string }
+
+val run : Kernel.t -> violation list
+(** Empty list = all invariants hold. Violations are ordered by check. *)
+
+val violation_to_string : violation -> string
+val pp : Format.formatter -> violation list -> unit

@@ -7,6 +7,7 @@ type ctx = {
   swap : Swap.t;
   zero : Physmem.Zero_engine.t;
   zcache : Alloc.Zero_cache.t;
+  reclaim : Reclaim.t option;
 }
 
 type kind = Minor | Major
@@ -14,35 +15,72 @@ type kind = Minor | Major
 let clock ctx = Physmem.Phys_mem.clock ctx.mem
 let stats ctx = Physmem.Phys_mem.stats ctx.mem
 let model ctx = Sim.Clock.model (clock ctx)
+let faults ctx = Sim.Trace.faults (Physmem.Phys_mem.trace ctx.mem)
+
+(* The kernel's frame source, with the injection site in front: when
+   "frame_alloc_fail" fires the buddy pretends to be empty, pushing the
+   caller down its degradation path. *)
+let buddy_alloc ctx ~order =
+  if Sim.Fault_inject.fires (faults ctx) ~site:Sim.Fault_inject.site_frame_alloc_fail then None
+  else Alloc.Buddy.alloc ctx.buddy ~order
 
 (* A frame with unspecified contents: buddy first; when the buddy is dry
-   the memory may be sitting in the zero engine's dirty queue (frames
-   freed but not yet laundered) — zero one on demand rather than OOM. *)
+   the memory may be sitting in the zero engine — dirty (freed but not
+   yet laundered: zero one on demand) or already laundered into its
+   zeroed pool (the reclaim-then-retry pass parks frames there) — rather
+   than OOM. *)
 let raw_frame ctx =
-  match Alloc.Buddy.alloc ctx.buddy ~order:0 with
+  match buddy_alloc ctx ~order:0 with
   | Some pfn -> Some pfn
   | None ->
-    if Physmem.Zero_engine.background_step ctx.zero ~budget_frames:1 = 1 then
-      Physmem.Zero_engine.take_zeroed ctx.zero
-    else None
+    ignore (Physmem.Zero_engine.background_step ctx.zero ~budget_frames:1);
+    Physmem.Zero_engine.take_zeroed ctx.zero
 
-let fresh_zero_frame ctx =
+(* Graceful degradation: a failed allocation gets exactly one
+   reclaim-then-retry pass before the typed OOM surfaces. *)
+let with_reclaim_retry ctx alloc =
+  match alloc () with
+  | Some pfn -> Some pfn
+  | None -> (
+    match ctx.reclaim with
+    | None -> None
+    | Some r ->
+      Sim.Stats.incr (stats ctx) "alloc_retry_reclaim";
+      let got = Reclaim.scan r ~target_frames:8 in
+      if got > 0 then Sim.Stats.add (stats ctx) "alloc_reclaimed_frames" got;
+      (* Reclaimed frames land in the zero engine's dirty queue; launder
+         enough of them for the retry to see clean memory. *)
+      ignore (Physmem.Zero_engine.background_step ctx.zero ~budget_frames:(max 1 got));
+      alloc ())
+
+let oom ctx what =
+  Sim.Stats.incr (stats ctx) "alloc_oom";
+  Sim.Errno.fail Sim.Errno.ENOMEM what
+
+let raw_frame_exn ?(what = "raw frame") ctx =
+  match with_reclaim_retry ctx (fun () -> raw_frame ctx) with
+  | Some pfn -> pfn
+  | None -> oom ctx what
+
+let fresh_zero_frame_once ctx =
   (* Prefer the pre-zeroed cache, then the engine's own pool (both O(1));
      fall back to allocate + eager zero. *)
   match Alloc.Zero_cache.take ctx.zcache ~order:0 with
-  | Some pfn -> pfn
+  | Some pfn -> Some pfn
   | None -> (
     match Physmem.Zero_engine.take_zeroed ctx.zero with
-    | Some pfn -> pfn
+    | Some pfn -> Some pfn
     | None -> (
-    match Alloc.Buddy.alloc ctx.buddy ~order:0 with
-    | Some pfn ->
-      Physmem.Zero_engine.eager_zero ctx.zero pfn;
-      pfn
-    | None -> (
-      match raw_frame ctx with
-      | Some pfn -> pfn (* laundered on demand: already zero *)
-      | None -> failwith "OOM")))
+      match buddy_alloc ctx ~order:0 with
+      | Some pfn ->
+        Physmem.Zero_engine.eager_zero ctx.zero pfn;
+        Some pfn
+      | None -> raw_frame ctx (* laundered on demand: already zero *)))
+
+let fresh_zero_frame ctx =
+  match with_reclaim_retry ctx (fun () -> fresh_zero_frame_once ctx) with
+  | Some pfn -> pfn
+  | None -> oom ctx "zero frame"
 
 let install ctx aspace ~va ~pfn ~prot =
   Hw.Page_table.map_page (Address_space.page_table aspace)
@@ -82,7 +120,7 @@ let cow ctx aspace ~va ~(old_leaf : Hw.Page_table.leaf) ~prot ~anon_backing =
   let table = Address_space.page_table aspace in
   let old_pfn = old_leaf.Hw.Page_table.pfn in
   (* No zeroing needed: the copy below overwrites the whole page. *)
-  let pfn = match raw_frame ctx with Some pfn -> pfn | None -> failwith "OOM" in
+  let pfn = raw_frame_exn ctx in
   (* Copy the old page's contents. *)
   let content =
     Physmem.Phys_mem.read ctx.mem ~addr:(Physmem.Frame.to_addr old_pfn) ~len:Sim.Units.page_size
@@ -129,7 +167,7 @@ let handle_inner ctx ~aspace ~pid ~va ~write =
       | Vma.Anon ->
         if Swap.contains ctx.swap ~key:(pid, page_va) then begin
           (* Major fault: bring the page back from the device. *)
-          let pfn = match raw_frame ctx with Some pfn -> pfn | None -> failwith "OOM" in
+          let pfn = raw_frame_exn ctx in
           let ok = Swap.swap_in ctx.swap ~key:(pid, page_va) ~pfn in
           assert ok;
           Page_meta.set_flag ctx.meta pfn Page_meta.Swapbacked true;

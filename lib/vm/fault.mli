@@ -13,6 +13,9 @@ type ctx = {
   swap : Swap.t;
   zero : Physmem.Zero_engine.t;
   zcache : Alloc.Zero_cache.t;  (** pre-zeroed frames tried first on anon faults *)
+  reclaim : Reclaim.t option;
+      (** when present, a failed allocation gets one reclaim-then-retry
+          pass before [Sim.Errno.Error (ENOMEM, _)] surfaces *)
 }
 
 type kind = Minor | Major
@@ -23,7 +26,19 @@ val handle : ctx -> aspace:Address_space.t -> pid:int -> va:int -> write:bool ->
     demand-map (file), copy-on-write, or swap in, updating the page table
     and per-page metadata exactly as the baseline must. Charges the trap
     cost plus all per-page work. Raises {!Segfault} when the access is
-    invalid, and [Failure "OOM"] when no frame can be found. *)
+    invalid, and [Sim.Errno.Error (ENOMEM, _)] when no frame can be found
+    even after the reclaim-retry pass. The ["frame_alloc_fail"] site
+    injects buddy failures in front of every allocation here. *)
+
+val fresh_zero_frame : ctx -> Physmem.Frame.t
+(** A zeroed frame via zero-cache → engine pool → buddy+eager-zero →
+    launder-on-demand, with the reclaim-retry pass on exhaustion. Raises
+    [Sim.Errno.Error (ENOMEM, _)] if nothing can be found. *)
+
+val raw_frame_exn : ?what:string -> ctx -> Physmem.Frame.t
+(** A frame with unspecified contents (buddy, then launder-on-demand),
+    with the reclaim-retry pass; [what] names the consumer in the ENOMEM
+    error. *)
 
 val populate_anon_page : ctx -> aspace:Address_space.t -> va:int -> prot:Hw.Prot.t -> unit
 (** The MAP_POPULATE path for one anonymous page: allocate, zero, map —

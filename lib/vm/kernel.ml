@@ -146,6 +146,7 @@ let fault_ctx t =
     swap = t.swap;
     zero = t.zero;
     zcache = t.zcache;
+    reclaim = Some t.reclaim;
   }
 
 let background_zero t ~budget_frames = Alloc.Zero_cache.refill t.zcache ~budget_frames
@@ -162,16 +163,7 @@ let charge_syscall t =
   (* Syscall entry doubles as the gauge-sampling heartbeat. *)
   Sim.Stats.sample t.stats ~now:(Sim.Clock.now t.clock)
 
-let alloc_pt_frame t () =
-  match Alloc.Buddy.alloc t.buddy ~order:0 with
-  | Some pfn -> pfn
-  | None ->
-    (* Launder a frame out of the zero engine's dirty queue on demand. *)
-    if Physmem.Zero_engine.background_step t.zero ~budget_frames:1 = 1 then
-      match Physmem.Zero_engine.take_zeroed t.zero with
-      | Some pfn -> pfn
-      | None -> failwith "OOM: page-table frame"
-    else failwith "OOM: page-table frame"
+let alloc_pt_frame t () = Fault.raw_frame_exn ~what:"page-table frame" (fault_ctx t)
 
 let create_process t ?(range_translations = false) () =
   let pid = t.next_pid in
@@ -269,6 +261,22 @@ let exit_process t proc =
   end;
   proc.Proc.alive <- false;
   Hashtbl.remove t.procs proc.Proc.pid
+
+let reset_after_crash t =
+  (* Power failure: every process dies with no orderly teardown, and all
+     DRAM-resident kernel state (struct pages, reclaim lists, userfault
+     registrations, TLBs) is gone. Host-side, no cost — the machine is
+     off. Buddy/file-system/zero-cache state is left alone: persistent
+     page tables and file extents are exactly what recovery reuses. *)
+  Hashtbl.iter (fun _ p -> p.Proc.alive <- false) t.procs;
+  Hashtbl.reset t.procs;
+  Userfault.clear t.userfault;
+  Reclaim.clear t.reclaim;
+  Page_meta.reset_after_crash t.meta;
+  (* Per-process TLBs died with their processes; the aggregate gauge must
+     not keep reporting pre-crash occupancy. *)
+  Sim.Stats.set_gauge t.stats "tlb_entries" 0;
+  Sim.Stats.set_gauge t.stats "zero_cache_depth" (Alloc.Zero_cache.depth t.zcache)
 
 let register_if_anon t proc ~va =
   let aspace = proc.Proc.aspace in
@@ -394,16 +402,7 @@ let handle_userfault t proc ~va ~write ~prot ~(handler : Userfault.handler) =
   | Userfault.Zero_page | Userfault.Provide _ as r ->
     charge_syscall t (* UFFDIO_COPY / UFFDIO_ZEROPAGE *);
     let ctx = fault_ctx t in
-    let pfn =
-      match Physmem.Zero_engine.take_zeroed ctx.Fault.zero with
-      | Some pfn -> pfn
-      | None -> (
-        match Alloc.Buddy.alloc t.buddy ~order:0 with
-        | Some pfn ->
-          Physmem.Zero_engine.eager_zero ctx.Fault.zero pfn;
-          pfn
-        | None -> failwith "OOM")
-    in
+    let pfn = Fault.fresh_zero_frame ctx in
     (match r with
     | Userfault.Provide content ->
       Phys_mem.write t.mem ~addr:(Frame.to_addr pfn)

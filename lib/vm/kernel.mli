@@ -78,6 +78,15 @@ val exit_process : t -> Proc.t -> unit
     one {!Hw.Tlb_batch} flushed at the end — one shootdown pass (or one
     full flush) regardless of how many VMAs the process had. *)
 
+val reset_after_crash : t -> unit
+(** Power failure, kernel side: drop every process, userfault
+    registration, reclaim list and struct-page record (all DRAM state),
+    and re-baseline the "resident_pages" / "tlb_entries" /
+    "zero_cache_depth" gauges so post-crash observability doesn't report
+    pre-crash occupancy. Host-side only — the machine is off, so no
+    cycles are charged. Persistent structures (buddy-held page-table
+    frames, file extents) are untouched. *)
+
 val process_count : t -> int
 
 val processes : t -> (int, Proc.t) Hashtbl.t

@@ -112,3 +112,16 @@ let init_range t ~first ~count =
   Sim.Stats.add t.stats "struct_page_init" count
 
 let metadata_bytes t = t.frames * bytes_per_page
+
+let reset_after_crash t =
+  (* struct pages live in DRAM: a crash reinitializes them all. The
+     residency gauge must follow, or post-crash observability reports
+     mappings of processes that no longer exist. *)
+  Hashtbl.reset t.pages;
+  Sim.Stats.set_gauge t.stats "resident_pages" 0
+
+let iter_counts t f =
+  Hashtbl.iter (fun pfn p -> f pfn ~refcount:p.refcount ~mapcount:p.mapcount) t.pages
+
+let resident_pages t =
+  Hashtbl.fold (fun _ p acc -> if p.mapcount > 0 then acc + 1 else acc) t.pages 0

@@ -52,6 +52,18 @@ val init_range : t -> first:Physmem.Frame.t -> count:int -> unit
 (** Model boot-time initialisation of a frame range: charges
     [struct_page_init] per frame — one of the paper's linear costs. *)
 
+val reset_after_crash : t -> unit
+(** Drop every per-frame record and zero the "resident_pages" gauge:
+    struct pages are DRAM state and do not survive a power failure. *)
+
+val iter_counts : t -> (Physmem.Frame.t -> refcount:int -> mapcount:int -> unit) -> unit
+(** Visit every frame that ever had metadata materialized. Host-side
+    introspection for the invariant checker: no charge. *)
+
+val resident_pages : t -> int
+(** Frames with [mapcount > 0] — the true level of the "resident_pages"
+    gauge, used to re-baseline it after a crash. *)
+
 val bytes_per_page : int
 (** 64, as in Linux. *)
 

@@ -30,6 +30,10 @@ let create ~mem ~meta ~buddy ~swap ~zero ~policy =
 let clock t = Physmem.Phys_mem.clock t.mem
 let stats t = Physmem.Phys_mem.stats t.mem
 
+let clear t =
+  Queue.clear t.active;
+  Queue.clear t.inactive
+
 let register t ~pid ~aspace ~va ~pfn =
   Page_meta.set_flag t.meta pfn Page_meta.Lru true;
   Queue.add { pid; aspace; va; pfn } t.inactive
@@ -85,7 +89,11 @@ let scan_clock t ~target_frames =
     match current e with
     | None -> () (* stale: drop silently *)
     | Some leaf ->
-      if leaf.Hw.Page_table.accessed then begin
+      if Page_meta.get_flag t.meta e.pfn Page_meta.Unevictable then
+        (* mlocked: parked off the LRU for good, as on Linux's
+           unevictable list. *)
+        Sim.Stats.incr (stats t) "reclaim_unevictable"
+      else if leaf.Hw.Page_table.accessed then begin
         (* Second chance. *)
         leaf.Hw.Page_table.accessed <- false;
         Queue.add e t.inactive
@@ -129,7 +137,9 @@ let scan_two_q t ~target_frames =
       match current e with
       | None -> ()
       | Some leaf ->
-        if leaf.Hw.Page_table.accessed then begin
+        if Page_meta.get_flag t.meta e.pfn Page_meta.Unevictable then
+          Sim.Stats.incr (stats t) "reclaim_unevictable"
+        else if leaf.Hw.Page_table.accessed then begin
           (* Promote to the active list. *)
           leaf.Hw.Page_table.accessed <- false;
           Page_meta.set_flag t.meta e.pfn Page_meta.Active true;

@@ -25,6 +25,11 @@ val scan : t -> target_frames:int -> int
     are exhausted. Clean cold pages are dropped; dirty cold pages are
     swapped out. Returns frames actually reclaimed. *)
 
+val clear : t -> unit
+(** Forget every tracked page (no cost). Used after a crash: the lists
+    reference page tables of processes that died with the machine, and
+    evicting through them would corrupt the rebooted metadata. *)
+
 val tracked : t -> int
 (** Entries currently on the lists (including stale ones). *)
 

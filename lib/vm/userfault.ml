@@ -28,3 +28,10 @@ let find t ~pid ~va =
   |> Option.map (fun r -> (r.handler, r.prot))
 
 let region_count t ~pid = List.length (of_pid t pid)
+
+let clear t = Hashtbl.reset t.regions
+
+let iter_regions t f =
+  Hashtbl.iter
+    (fun pid regions -> List.iter (fun r -> f ~pid ~va:r.start ~len:r.len) regions)
+    t.regions

@@ -30,3 +30,11 @@ val find : t -> pid:int -> va:int -> (handler * Hw.Prot.t) option
 (** The handler covering [va], if any. *)
 
 val region_count : t -> pid:int -> int
+
+val clear : t -> unit
+(** Drop every registration (all processes). *)
+
+val iter_regions : t -> (pid:int -> va:int -> len:int -> unit) -> unit
+(** Visit every registered range (host-side, no cost) — the invariant
+    checker uses this to account for handler-installed pages that have
+    no VMA. *)

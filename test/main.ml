@@ -16,5 +16,6 @@ let () =
       ("workload", Test_workload.suite);
       ("extensions", Test_extensions.suite);
       ("model", Test_model.suite);
+      ("faults", Test_faults.suite);
       ("integration", Test_integration.suite);
     ]

@@ -567,8 +567,10 @@ let test_oom_picks_largest () =
     (Os.Oom.pick_victim k ~except:small.Os.Proc.pid () = None)
 
 let test_oom_recovers_allocation () =
-  (* A machine whose anon pool is tiny: one hog fills it, a newcomer OOMs,
-     the killer frees the hog, the newcomer proceeds. *)
+  (* A machine whose anon pool is tiny: one hog fills it with *pinned*
+     memory (so the reclaim-then-retry pass cannot swap its way out), a
+     newcomer gets a typed ENOMEM, the killer frees the hog, the
+     newcomer proceeds. *)
   let config =
     { Helpers.small_config with Os.Kernel.dram_bytes = Sim.Units.mib 16; nvm_bytes = 0 }
   in
@@ -577,13 +579,16 @@ let test_oom_recovers_allocation () =
   (* Anon pool is 8MiB (half of DRAM rounded to buddy blocks). *)
   let va = K.mmap_anon k hog ~len:(Sim.Units.mib 6) ~prot:Hw.Prot.rw ~populate:false in
   ignore (K.access_range k hog ~va ~len:(Sim.Units.mib 6) ~write:true ~stride:Sim.Units.page_size);
+  K.mlock k hog ~va ~len:(Sim.Units.mib 6);
   let newcomer = K.create_process k () in
   let va2 = K.mmap_anon k newcomer ~len:(Sim.Units.mib 3) ~prot:Hw.Prot.rw ~populate:false in
+  (* The newcomer pins as it faults, so reclaim cannot rob Peter to pay
+     Paul with the newcomer's own cold pages: pressure is genuine. *)
   let oomed =
     try
-      ignore (K.access_range k newcomer ~va:va2 ~len:(Sim.Units.mib 3) ~write:true ~stride:Sim.Units.page_size);
+      K.mlock k newcomer ~va:va2 ~len:(Sim.Units.mib 3);
       false
-    with Failure _ -> true
+    with Sim.Errno.Error (Sim.Errno.ENOMEM, _) -> true
   in
   check_bool "allocation pressure hit" true oomed;
   check_bool "killer found the hog" true (Os.Oom.on_pressure k ~except:newcomer.Os.Proc.pid () = Some hog.Os.Proc.pid);

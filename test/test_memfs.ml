@@ -164,7 +164,8 @@ let test_fs_quota_enforced () =
   let fs, _ = mk_fs ~quota_frames:8 () in
   let ino = M.create_file fs "/q" ~persistence:Fs.Inode.Volatile in
   M.extend fs ino ~bytes_wanted:(Sim.Units.kib 32);
-  Alcotest.check_raises "quota hit" (Failure "ENOSPC") (fun () ->
+  Alcotest.check_raises "quota hit"
+    (Sim.Errno.Error (Sim.Errno.ENOSPC, "Memfs.extend: quota")) (fun () ->
       M.extend fs ino ~bytes_wanted:4096)
 
 let test_fs_whole_file_prot () =
@@ -231,22 +232,22 @@ let mk_wal ?(capacity = Sim.Units.kib 16) () =
 
 let test_wal_append_recover () =
   let wal, nvm, base, capacity = mk_wal () in
-  List.iter (Fs.Wal.append wal) [ "alpha"; "beta"; "gamma" ];
+  List.iter (Fs.Wal.append_exn wal) [ "alpha"; "beta"; "gamma" ];
   Alcotest.(check (list string)) "entries" [ "alpha"; "beta"; "gamma" ] (Fs.Wal.entries wal);
   Physmem.Nvm.crash nvm;
   let back = Fs.Wal.recover ~nvm ~base ~capacity in
   Alcotest.(check (list string)) "all durable records recovered" [ "alpha"; "beta"; "gamma" ]
     (Fs.Wal.entries back);
   (* The recovered log can keep appending. *)
-  Fs.Wal.append back "delta";
+  Fs.Wal.append_exn back "delta";
   check_int "four now" 4 (Fs.Wal.entry_count back)
 
 let test_wal_torn_tail_dropped () =
   let wal, nvm, base, capacity = mk_wal () in
-  Fs.Wal.append wal "committed-1";
-  Fs.Wal.append wal "committed-2";
+  Fs.Wal.append_exn wal "committed-1";
+  Fs.Wal.append_exn wal "committed-2";
   (* The buggy path: no flushes. A crash tears it. *)
-  Fs.Wal.append ~durable:false wal "torn";
+  Fs.Wal.append_exn ~durable:false wal "torn";
   Physmem.Nvm.crash nvm;
   let back = Fs.Wal.recover ~nvm ~base ~capacity in
   Alcotest.(check (list string)) "only the committed prefix survives"
@@ -254,8 +255,8 @@ let test_wal_torn_tail_dropped () =
 
 let test_wal_checksum_rejects_corruption () =
   let wal, nvm, base, capacity = mk_wal () in
-  Fs.Wal.append wal "good";
-  Fs.Wal.append wal "evil";
+  Fs.Wal.append_exn wal "good";
+  Fs.Wal.append_exn wal "evil";
   (* Flip a payload byte of the second record behind the log's back. *)
   let second_payload = base + Fs.Wal.used_bytes wal - 1 (* marker *) - 4 in
   Physmem.Phys_mem.write (Physmem.Nvm.mem nvm) ~addr:second_payload "X";
@@ -264,12 +265,15 @@ let test_wal_checksum_rejects_corruption () =
 
 let test_wal_full_and_reset () =
   let wal, nvm, base, capacity = mk_wal ~capacity:64 () in
-  Fs.Wal.append wal (String.make 40 'x');
-  Alcotest.check_raises "full" (Failure "WAL full") (fun () ->
-      Fs.Wal.append wal (String.make 40 'y'));
+  Fs.Wal.append_exn wal (String.make 40 'x');
+  check_bool "full append refused, not raised" true
+    (Fs.Wal.append wal (String.make 40 'y') = Error Fs.Wal.Wal_full);
+  Alcotest.check_raises "append_exn maps Wal_full to ENOSPC"
+    (Sim.Errno.Error (Sim.Errno.ENOSPC, "Wal.append")) (fun () ->
+      Fs.Wal.append_exn wal (String.make 40 'y'));
   Fs.Wal.reset wal;
   check_int "empty after reset" 0 (Fs.Wal.entry_count wal);
-  Fs.Wal.append wal (String.make 40 'z');
+  Fs.Wal.append_exn wal (String.make 40 'z');
   (* Reset is durable: recovery after a crash sees the new record only. *)
   Physmem.Nvm.crash nvm;
   let back = Fs.Wal.recover ~nvm ~base ~capacity in
@@ -280,7 +284,7 @@ let prop_wal_roundtrip =
     QCheck2.Gen.(list_size (int_range 1 20) (string_size ~gen:printable (int_range 1 50)))
     (fun records ->
       let wal, nvm, base, capacity = mk_wal ~capacity:(Sim.Units.kib 64) () in
-      List.iter (Fs.Wal.append wal) records;
+      List.iter (Fs.Wal.append_exn wal) records;
       Physmem.Nvm.crash nvm;
       Fs.Wal.entries (Fs.Wal.recover ~nvm ~base ~capacity) = records)
 
@@ -329,7 +333,7 @@ let test_journal_replay_matches_namespace () =
       | p :: _ ->
         let ino = Option.get (M.lookup fs p) in
         (try M.extend fs ino ~bytes_wanted:(Sim.Units.page_size * Sim.Rng.int_in rng ~lo:1 ~hi:4)
-         with Failure _ -> ()))
+         with Sim.Errno.Error (Sim.Errno.ENOSPC, _) -> ()))
     | 2 -> (
       match !paths with
       | [] -> ()

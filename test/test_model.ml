@@ -57,7 +57,7 @@ let fs_random_ops ~seed ~ops ~crash_at =
            let stamp = Char.chr (Char.code 'a' + Sim.Rng.int rng 26) in
            Fs.Memfs.write_file fs ino ~off:0 (String.make 16 stamp);
            m.stamp <- stamp
-         with Failure _ -> () (* ENOSPC acceptable *)))
+         with Sim.Errno.Error (Sim.Errno.ENOSPC, _) -> () (* acceptable *)))
     | 2 -> (
       (* unlink *)
       match live_paths () with
@@ -168,7 +168,7 @@ let test_fom_model () =
            let r = F.alloc fom proc ~strategy ~len ~prot:Hw.Prot.rw () in
            Hashtbl.replace live !next_id r;
            incr next_id
-         with Failure _ -> ())
+         with Sim.Errno.Error ((Sim.Errno.ENOSPC | Sim.Errno.ENOMEM), _) -> ())
       | 1 -> (
         (* free a random live region *)
         let ids = Hashtbl.fold (fun id _ acc -> id :: acc) live [] in
@@ -374,7 +374,7 @@ let prop_defrag_preserves_contents =
              let stamp = String.make 32 (Char.chr (Char.code 'a' + Sim.Rng.int rng 26)) in
              Fs.Memfs.write_file fs ino ~off:0 stamp;
              live := (path, stamp) :: !live
-           with Failure _ -> Fs.Memfs.unlink fs path)
+           with Sim.Errno.Error (Sim.Errno.ENOSPC, _) -> Fs.Memfs.unlink fs path)
         | 1 -> (
           match !live with
           | [] -> ()
