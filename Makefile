@@ -54,5 +54,6 @@ chaos:
 	dune exec bin/o1mem_cli.exe -- faults --seed 42 --plan each --explore
 	dune exec bin/o1mem_cli.exe -- faults --seed 7 --plan each
 	dune exec bin/o1mem_cli.exe -- faults --seed 2017 --plan each
+	dune exec bin/o1mem_cli.exe -- faults --seed 99 --plan tlb --rounds 32
 
 .PHONY: all test test-verbose bench examples clean check bench-diff throughput profile chaos

@@ -6,7 +6,8 @@ module K = Os.Kernel
 module F = O1mem.Fom
 
 let config ?(dram = Sim.Units.mib 512) ?(nvm = Sim.Units.gib 2) ?(levels = 4)
-    ?(walk_mode = Hw.Walker.Native) ?(reclaim = Os.Reclaim.Clock) () =
+    ?(walk_mode = Hw.Walker.Native) ?(reclaim = Os.Reclaim.Clock) ?(cores = 1)
+    ?(numa_nodes = 1) () =
   {
     K.default_config with
     K.dram_bytes = dram;
@@ -14,10 +15,12 @@ let config ?(dram = Sim.Units.mib 512) ?(nvm = Sim.Units.gib 2) ?(levels = 4)
     levels;
     walk_mode;
     reclaim_policy = reclaim;
+    cores;
+    numa_nodes;
   }
 
-let kernel ?dram ?nvm ?levels ?walk_mode ?reclaim () =
-  K.create ~config:(config ?dram ?nvm ?levels ?walk_mode ?reclaim ()) ()
+let kernel ?dram ?nvm ?levels ?walk_mode ?reclaim ?cores ?numa_nodes () =
+  K.create ~config:(config ?dram ?nvm ?levels ?walk_mode ?reclaim ?cores ?numa_nodes ()) ()
 
 let kernel_and_fom ?dram ?nvm ?strategy () =
   let k = kernel ?dram ?nvm () in

@@ -166,8 +166,112 @@ let tlb_shootdown n =
   let stats = Sim.Stats.create () in
   let tlb = Hw.Tlb.create ~clock ~stats () in
   let before = Sim.Clock.now clock in
-  Hw.Tlb.invalidate_range tlb ~va:0 ~len:n;
+  Hw.Tlb.invalidate_range tlb ~va:0 ~len:n ();
   Sim.Clock.elapsed clock ~since:before
+
+(* ------------------- SMP shootdowns and fault scaling --------------- *)
+
+(* 2 .. 32 simulated cores. Starts at 2: a 1-core point has no IPI
+   traffic at all and would drag a clean O(cores) fit toward zero. *)
+let cores_sweep = geometric ~base:2 ~factor:2 ~count:5
+
+(* 1 .. 32 pages: stays below the 33-page full-flush threshold so the
+   per-page IPI path is what gets measured. *)
+let pages_sweep = geometric ~base:1 ~factor:2 ~count:6
+
+(* 1 .. 64 pages: crosses the full-flush threshold, which must NOT
+   change the number of IPI rounds a batch issues. *)
+let batch_pages_sweep = geometric ~base:1 ~factor:2 ~count:7
+
+(* A machine of [cores] cores where every core caches [pages]
+   translations of one address space (asid 1), so the cpumask makes each
+   of them a shootdown target — the worst case for per-page unmap. With
+   [range], the pages sit behind a single range-table entry and each
+   core's range TLB caches it. *)
+let smp_env ?(range = false) ~cores ~pages f =
+  let clock = Sim.Clock.create Sim.Cost_model.default in
+  let stats = Sim.Stats.create () in
+  let next = ref 0 in
+  let alloc_frame () =
+    incr next;
+    !next
+  in
+  let table = Hw.Page_table.create ~clock ~stats ~levels:4 ~alloc_frame in
+  let range_table =
+    if range then begin
+      let rt = Hw.Range_table.create ~clock ~stats () in
+      Hw.Range_table.insert rt ~base:0 ~limit:(pages * Sim.Units.page_size) ~offset:0
+        ~prot:Hw.Prot.rw;
+      Some rt
+    end
+    else None
+  in
+  let smp = Hw.Smp.create ~clock ~stats ~cores () in
+  let mmu = Hw.Mmu.create ~clock ~stats ~table ?range_table ~smp ~asid:1 () in
+  if not range then
+    for i = 0 to pages - 1 do
+      Hw.Page_table.map_page table ~va:(i * Sim.Units.page_size) ~pfn:(1000 + i)
+        ~prot:Hw.Prot.rw ~size:Hw.Page_size.Small
+    done;
+  for c = 0 to cores - 1 do
+    Hw.Mmu.set_core mmu c;
+    for i = 0 to pages - 1 do
+      ignore (Hw.Mmu.translate mmu ~va:(i * Sim.Units.page_size) ~write:false ~exec:false)
+    done
+  done;
+  Hw.Mmu.set_core mmu 0;
+  let before = Sim.Clock.now clock in
+  f mmu stats;
+  Sim.Clock.elapsed clock ~since:before
+
+let unmap_pages mmu pages =
+  for i = 0 to pages - 1 do
+    Hw.Mmu.invalidate_page mmu ~va:(i * Sim.Units.page_size)
+  done
+
+(* Per-page unmap of a fixed 8-page buffer as the machine grows: every
+   page pays one IPI per remote core, O(cores * pages) overall. *)
+let smp_per_page_cores n = smp_env ~cores:n ~pages:8 (fun mmu _ -> unmap_pages mmu 8)
+
+(* The same unmap through one range entry: one invalidation, one IPI
+   round — O(cores), independent of the range's size. *)
+let smp_range_cores n =
+  smp_env ~range:true ~cores:n ~pages:8 (fun mmu _ -> Hw.Mmu.invalidate_base mmu ~base:0)
+
+(* Per-page unmap on a fixed 8-core machine as the buffer grows: the
+   core count only scales the slope, the pages scale the cost. *)
+let smp_per_page_pages n = smp_env ~cores:8 ~pages:n (fun mmu _ -> unmap_pages mmu n)
+
+(* IPIs (not cycles) a batched teardown issues on a fixed 8-core
+   machine: Tlb_batch amortizes the whole batch — INVLPG path or
+   full-flush path — into ONE round, so the count never moves. *)
+let smp_batch_ipis n =
+  let sent = ref 0 in
+  ignore
+    (smp_env ~cores:8 ~pages:n (fun mmu stats ->
+         let batch = Hw.Tlb_batch.create mmu in
+         Hw.Tlb_batch.add batch ~va:0 ~len:(n * Sim.Units.page_size);
+         Hw.Tlb_batch.flush batch;
+         sent := Sim.Stats.get stats "ipi_sent"));
+  !sent
+
+(* Demand-fault throughput as cores grow, one process per core doing the
+   same 32-page workload: cycles are attributed to the core the faulting
+   process runs on, so the makespan (max per-core busy) stays flat when
+   fault handling scales. *)
+let smp_fault_makespan n =
+  let k = kernel ~cores:n () in
+  let procs = List.init n (fun _ -> K.create_process k ()) in
+  List.iter
+    (fun p ->
+      let len = 32 * Sim.Units.page_size in
+      let va = K.mmap_anon k p ~len ~prot:Hw.Prot.rw ~populate:false in
+      ignore (K.access_range k p ~va ~len ~write:true ~stride:Sim.Units.page_size))
+    procs;
+  let makespan = ref 0 in
+  Hw.Smp.iter_cores (K.smp k) (fun c ->
+      makespan := max !makespan c.Hw.Smp.busy_cycles);
+  !makespan
 
 (* ----------------------------- sweeps ------------------------------ *)
 
@@ -316,6 +420,46 @@ let sweeps =
       note = "33+ pages: one full flush, size-independent";
       sizes = flush_sweep;
       measure = tlb_shootdown;
+    };
+    {
+      name = "smp_shootdown_per_page_cores";
+      expected = C.Linear;
+      unit_ = "cores";
+      note = "8-page unmap: one IPI per page per remote core";
+      sizes = cores_sweep;
+      measure = smp_per_page_cores;
+    };
+    {
+      name = "smp_shootdown_range_cores";
+      expected = C.Linear;
+      unit_ = "cores";
+      note = "range unmap: one IPI round, O(cores) total";
+      sizes = cores_sweep;
+      measure = smp_range_cores;
+    };
+    {
+      name = "smp_shootdown_per_page_pages";
+      expected = C.Linear;
+      unit_ = "pages";
+      note = "8 cores: per-page IPIs scale with the buffer";
+      sizes = pages_sweep;
+      measure = smp_per_page_pages;
+    };
+    {
+      name = "smp_batch_ipis_pages";
+      expected = C.Constant;
+      unit_ = "pages";
+      note = "IPIs per batched flush: one round whatever the size";
+      sizes = batch_pages_sweep;
+      measure = smp_batch_ipis;
+    };
+    {
+      name = "smp_fault_makespan_cores";
+      expected = C.Constant;
+      unit_ = "cores";
+      note = "per-core demand-fault makespan: flat = perfect scaling";
+      sizes = cores_sweep;
+      measure = smp_fault_makespan;
     };
   ]
 

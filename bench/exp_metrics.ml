@@ -60,7 +60,58 @@ let run_workload () =
   O1mem.Fom.free fom p2 g;
   k
 
-let schema_version = "o1mem.metrics/5"
+(* SMP: a 4-core, 2-node machine where every process migrates between
+   touching its pages and unmapping them, so each teardown is a
+   cross-core shootdown. Exports per-core IPI/TLB/busy counters — the
+   measured traffic that replaced the analytic (cores-1)*ipi term. *)
+let run_smp_workload () =
+  let k = Bench_env.kernel ~cores:4 ~numa_nodes:2 () in
+  let procs = List.init 4 (fun _ -> K.create_process k ()) in
+  List.iteri
+    (fun i p ->
+      let len = Sim.Units.kib 64 in
+      let va = K.mmap_anon k p ~len ~prot:Hw.Prot.rw ~populate:false in
+      ignore (K.access_range k p ~va ~len ~write:true ~stride:Sim.Units.page_size);
+      K.migrate k p ~core:((i + 1) mod 4);
+      K.munmap k p ~va ~len)
+    procs;
+  k
+
+let smp_to_json () =
+  let k = run_smp_workload () in
+  let smp = K.smp k in
+  let stats = K.stats k in
+  let stat n = Sim.Json.Int (Sim.Stats.get stats n) in
+  let per_core =
+    List.init (Hw.Smp.cores smp) (fun i ->
+        let c = Hw.Smp.core smp i in
+        ( Printf.sprintf "core%d" i,
+          Sim.Json.Obj
+            [
+              ("numa_node", Sim.Json.Int c.Hw.Smp.numa_node);
+              ("ipi_sent", Sim.Json.Int c.Hw.Smp.ipi_sent);
+              ("ipi_received", Sim.Json.Int c.Hw.Smp.ipi_received);
+              ("ipi_acked", Sim.Json.Int c.Hw.Smp.ipi_acked);
+              ("busy_cycles", Sim.Json.Int c.Hw.Smp.busy_cycles);
+              ("tlb_shootdowns", Sim.Json.Int (Hw.Tlb.shootdowns c.Hw.Smp.tlb));
+              ("tlb_flushes", Sim.Json.Int (Hw.Tlb.flushes c.Hw.Smp.tlb));
+            ] ))
+  in
+  Sim.Json.Obj
+    ([
+       ("cores", Sim.Json.Int (Hw.Smp.cores smp));
+       ("numa_nodes", Sim.Json.Int (Hw.Smp.numa_nodes smp));
+       ("clock_cycles", Sim.Json.Int (Sim.Clock.now (K.clock k)));
+       ("ipi_sent", stat "ipi_sent");
+       ("ipi_acked", stat "ipi_acked");
+       ("migrations", stat "migration");
+       ("numa_local_alloc", stat "numa_local_alloc");
+       ("numa_remote_alloc", stat "numa_remote_alloc");
+       ("numa_remote_ref", stat "numa_remote_ref");
+     ]
+    @ per_core)
+
+let schema_version = "o1mem.metrics/6"
 
 (* Provenance: everything a reader needs to decide whether two exports are
    comparable. Runs under different cost models or trace capacities would
@@ -85,6 +136,7 @@ let to_json ?events_limit k =
       ("complexity", Exp_complexity.to_json ());
       ("profile", Exp_profile.to_json ());
       ("faults", Exp_faults.to_json ());
+      ("smp", smp_to_json ());
     ]
 
 let run_to_json ?events_limit () = to_json ?events_limit (run_workload ())

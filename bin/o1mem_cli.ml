@@ -101,7 +101,7 @@ let walkrefs_cmd =
 
 (* --------------------------- simulate ------------------------------ *)
 
-let simulate size_mb strategy_name touch =
+let simulate size_mb strategy_name touch cores =
   let strategy =
     match strategy_name with
     | "per-page" -> O1mem.Fom.Per_page
@@ -110,7 +110,7 @@ let simulate size_mb strategy_name touch =
     | "range" -> O1mem.Fom.Range_translation
     | s -> failwith ("unknown strategy: " ^ s ^ " (per-page|huge|subtree|range)")
   in
-  let k = Experiments.Bench_env.kernel ~nvm:(Sim.Units.gib 4) () in
+  let k = Experiments.Bench_env.kernel ~nvm:(Sim.Units.gib 4) ~cores () in
   let fom = O1mem.Fom.create k ~strategy () in
   let p = Os.Kernel.create_process k ~range_translations:(strategy = O1mem.Fom.Range_translation) () in
   let len = Sim.Units.mib size_mb in
@@ -126,14 +126,27 @@ let simulate size_mb strategy_name touch =
       Experiments.Bench_env.time_us k (fun () ->
           Experiments.Bench_env.touch_pages_fom fom p ~va:r.O1mem.Fom.va ~len ~write:true)
     in
-    Printf.printf "touch every page: %.2f us\n" t_touch
+    Printf.printf "touch every page: %.2f us\n" t_touch;
+    (* On an SMP machine, migrate after the touch and unmap from the new
+       core: the teardown's shootdown is now a real cross-core IPI round. *)
+    if cores > 1 then begin
+      Os.Kernel.migrate k p ~core:((p.Os.Proc.core + 1) mod cores);
+      let t_unmap =
+        Experiments.Bench_env.time_us k (fun () -> O1mem.Fom.free fom p r)
+      in
+      Printf.printf "cross-core unmap (core %d, %d cores): %.2f us\n" p.Os.Proc.core cores
+        t_unmap
+    end
   end;
   let stats = Os.Kernel.stats k in
   List.iter
     (fun key ->
       let v = Sim.Stats.get stats key in
       if v > 0 then Printf.printf "  %-20s %d\n" key v)
-    [ "pte_write"; "fom_grafts"; "range_table_op"; "page_fault"; "tlb_miss"; "fs_extend" ]
+    [
+      "pte_write"; "fom_grafts"; "range_table_op"; "page_fault"; "tlb_miss"; "fs_extend";
+      "migration"; "ipi_sent"; "ipi_acked"; "tlb_shootdown";
+    ]
 
 let simulate_cmd =
   let doc = "Allocate and map a region under a chosen strategy and report costs" in
@@ -142,7 +155,10 @@ let simulate_cmd =
     Arg.(value & opt string "subtree" & info [ "strategy" ] ~doc:"per-page|huge|subtree|range.")
   in
   let touch = Arg.(value & flag & info [ "touch" ] ~doc:"Also touch every page.") in
-  Cmd.v (Cmd.info "simulate" ~doc) Term.(const simulate $ size $ strategy $ touch)
+  let cores =
+    Arg.(value & opt int 1 & info [ "cores" ] ~doc:"Simulated cores (per-core TLBs, IPI shootdowns).")
+  in
+  Cmd.v (Cmd.info "simulate" ~doc) Term.(const simulate $ size $ strategy $ touch $ cores)
 
 (* ---------------------------- metrics ------------------------------ *)
 

@@ -128,6 +128,10 @@ let chaos_config =
     Os.Kernel.default_config with
     Os.Kernel.dram_bytes = Sim.Units.mib 8;
     nvm_bytes = Sim.Units.mib 8;
+    (* SMP so a lost shootdown ack has a victim: the tlb plan migrates
+       between access and unmap, making the IPI round target a remote
+       core that really caches the pages. *)
+    cores = 4;
   }
 
 let fom_machine ~seed =
@@ -292,15 +296,21 @@ let run_plan ?(seed = 1) ?(rounds = 16) ~plan () =
   in
   let p1 = Os.Kernel.create_process kernel () in
   let p2 = Os.Kernel.create_process kernel () in
+  let cores = chaos_config.Os.Kernel.cores in
   for i = 1 to rounds do
     guard (fun () ->
         let len = Sim.Units.kib 64 in
+        (* Touch the pages on one core, unmap from another: the shootdown
+           must now cross cores, so a dropped ack (tlb plan) leaves a
+           stale entry the final checker can catch. *)
+        Os.Kernel.migrate kernel p1 ~core:(i mod cores);
         let va =
           Os.Kernel.mmap_anon kernel p1 ~len ~prot:Hw.Prot.rw ~populate:false
         in
         ignore
           (Os.Kernel.access_range kernel p1 ~va ~len ~write:true
              ~stride:Sim.Units.page_size);
+        Os.Kernel.migrate kernel p1 ~core:((i + 1) mod cores);
         Os.Kernel.munmap kernel p1 ~va ~len);
     guard (fun () ->
         let len = Sim.Units.kib 16 in

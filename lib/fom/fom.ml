@@ -202,10 +202,13 @@ let remove_mapping ?batch t (proc : Os.Proc.t) region =
       Hw.Range_table.iter rt (fun e ->
           if e.Hw.Range_table.base >= region.va && e.Hw.Range_table.base < region.va + region.len
           then bases := e.Hw.Range_table.base :: !bases);
-      let rtlb = Hw.Mmu.range_tlb (Os.Address_space.mmu aspace) in
+      let mmu = Os.Address_space.mmu aspace in
       List.iter
         (fun base ->
-          (match rtlb with Some rtlb -> Hw.Range_tlb.invalidate rtlb ~base | None -> ());
+          (* Through the MMU, not the raw range TLB: the shootdown must
+             carry this address space's ASID and IPI every other core
+             that may cache the entry. *)
+          Hw.Mmu.invalidate_base mmu ~base;
           ignore (Hw.Range_table.remove rt ~base))
         !bases));
   (* Ungraft feeds the caller's shootdown batch when one is in flight

@@ -1,5 +1,11 @@
 type fault = Not_mapped | Protection
 
+(* An address space's view of the machine: its page/range tables plus the
+   shared {!Smp} core complex. [core] is where the owning process is
+   currently scheduled — translations fill that core's TLBs — and
+   [cpumask] tracks which cores may still cache this address space's
+   translations (Linux's mm_cpumask): exactly those cores are interrupted
+   on a shootdown. *)
 type t = {
   clock : Sim.Clock.t;
   stats : Sim.Stats.t;
@@ -7,33 +13,46 @@ type t = {
   table : Page_table.t;
   range_table : Range_table.t option;
   mode : Walker.mode;
-  tlb : Tlb.t;
-  range_tlb : Range_tlb.t option;
+  smp : Smp.t;
+  asid : int;
+  mutable core : int;
+  mutable cpumask : int;
 }
 
 let create ~clock ~stats ?(trace = Sim.Trace.disabled) ~table ?range_table
-    ?(mode = Walker.Native) ?tlb_sets ?tlb_ways ?range_tlb_entries () =
-  {
-    clock;
-    stats;
-    trace;
-    table;
-    range_table;
-    mode;
-    tlb = Tlb.create ~clock ~stats ~trace ?sets:tlb_sets ?ways:tlb_ways ();
-    range_tlb =
-      (match range_table with
-      | Some _ -> Some (Range_tlb.create ~clock ~stats ~trace ?entries:range_tlb_entries ())
-      | None -> None);
-  }
+    ?(mode = Walker.Native) ?tlb_sets ?tlb_ways ?range_tlb_entries ?smp ?(asid = 0) () =
+  let smp =
+    match smp with
+    | Some smp -> smp
+    | None ->
+      (* Standalone MMU (tests, micro-benches): a private single-core
+         machine with the requested TLB geometry. *)
+      Smp.create ~clock ~stats ~trace ?tlb_sets ?tlb_ways ?range_tlb_entries ()
+  in
+  { clock; stats; trace; table; range_table; mode; smp; asid; core = 0; cpumask = 0 }
 
 let table t = t.table
 let range_table t = t.range_table
-let tlb t = t.tlb
-let range_tlb t = t.range_tlb
 let clock t = t.clock
 let stats t = t.stats
 let trace t = t.trace
+let smp t = t.smp
+let asid t = t.asid
+let core t = t.core
+let cpumask t = t.cpumask
+
+let set_core t core =
+  if core < 0 || core >= Smp.cores t.smp then invalid_arg "Mmu.set_core: no such core";
+  t.core <- core
+
+let local t = Smp.core t.smp t.core
+let tlb t = (local t).Smp.tlb
+
+let range_tlb t =
+  match t.range_table with Some _ -> Some (local t).Smp.range_tlb | None -> None
+
+let model t = Sim.Clock.model t.clock
+let mark_cached t = t.cpumask <- t.cpumask lor (1 lsl t.core)
 
 let check_prot prot ~write ~exec = Prot.allows prot ~write ~exec
 
@@ -48,7 +67,8 @@ let note_access t ~va ~write =
     | None -> ()
 
 let translate t ~va ~write ~exec =
-  match Tlb.lookup t.tlb ~va with
+  let c = local t in
+  match Tlb.lookup c.Smp.tlb ~asid:t.asid ~va () with
   | Some (pfn, prot, size) ->
     if check_prot prot ~write ~exec then begin
       note_access t ~va ~write;
@@ -58,7 +78,9 @@ let translate t ~va ~write ~exec =
     else Error Protection
   | None -> (
     let via_range_tlb =
-      match t.range_tlb with Some rtlb -> Range_tlb.lookup rtlb ~va | None -> None
+      match t.range_table with
+      | Some _ -> Range_tlb.lookup c.Smp.range_tlb ~asid:t.asid ~va ()
+      | None -> None
     in
     match via_range_tlb with
     | Some e ->
@@ -72,7 +94,11 @@ let translate t ~va ~write ~exec =
       in
       match via_range_walk with
       | Some e ->
-        (match t.range_tlb with Some rtlb -> Range_tlb.insert rtlb e | None -> ());
+        (match t.range_table with
+        | Some _ ->
+          Range_tlb.insert c.Smp.range_tlb ~asid:t.asid e;
+          mark_cached t
+        | None -> ());
         if check_prot e.Range_table.prot ~write ~exec then Ok (va + e.Range_table.offset)
         else Error Protection
       | None -> (
@@ -83,9 +109,10 @@ let translate t ~va ~write ~exec =
         | None -> Error Not_mapped
         | Some (pa, leaf) ->
           if write then leaf.Page_table.dirty <- true;
-          Tlb.insert t.tlb
+          Tlb.insert c.Smp.tlb ~asid:t.asid
             ~va:(Sim.Units.round_down va ~align:(Page_size.bytes leaf.Page_table.size))
-            ~pfn:leaf.Page_table.pfn ~prot:leaf.Page_table.prot ~size:leaf.Page_table.size;
+            ~pfn:leaf.Page_table.pfn ~prot:leaf.Page_table.prot ~size:leaf.Page_table.size ();
+          mark_cached t;
           if check_prot leaf.Page_table.prot ~write ~exec then Ok pa else Error Protection)))
 
 let access t ~mem ~va ~write =
@@ -95,15 +122,94 @@ let access t ~mem ~va ~write =
     if write then Physmem.Phys_mem.write_byte mem pa 'x' else Physmem.Phys_mem.touch mem pa;
     Ok ()
 
+(* Purely local full flush (context switch): current core only, zero
+   IPIs — the single-core cost the fixed {!Sim.Cost_model.shootdown_cost}
+   now charges. *)
 let flush_tlbs t =
-  Tlb.flush t.tlb;
-  match t.range_tlb with Some r -> Range_tlb.flush r | None -> ()
+  let c = local t in
+  Tlb.flush c.Smp.tlb;
+  (match t.range_table with Some _ -> Range_tlb.flush c.Smp.range_tlb | None -> ());
+  t.cpumask <- t.cpumask land lnot (1 lsl t.core)
 
-let invalidate_range t ~va ~len =
-  Tlb.invalidate_range t.tlb ~va ~len;
-  match (t.range_tlb, t.range_table) with
-  | Some rtlb, Some rt ->
+(* One shootdown IPI round-trip: interrupt every *other* core in the
+   cpumask, run [f] as its invalidation handler, collect the ack. A fired
+   [tlb_ack_lost] fault drops the handler and the ack — the victim core
+   keeps its stale entries, which only [Os.Check] can catch. The send is
+   charged whether or not the ack comes back. *)
+let ipi_round t f =
+  let src = local t in
+  let faults = Sim.Trace.faults t.trace in
+  for r = 0 to Smp.cores t.smp - 1 do
+    if r <> t.core && t.cpumask land (1 lsl r) <> 0 then begin
+      let dst = Smp.core t.smp r in
+      let start = Sim.Clock.now t.clock in
+      Sim.Clock.charge t.clock (model t).Sim.Cost_model.ipi;
+      src.Smp.ipi_sent <- src.Smp.ipi_sent + 1;
+      dst.Smp.ipi_received <- dst.Smp.ipi_received + 1;
+      Sim.Stats.incr t.stats "ipi_sent";
+      if Sim.Fault_inject.fires faults ~site:Sim.Fault_inject.site_tlb_ack_lost then begin
+        Sim.Stats.incr t.stats "tlb_ack_lost";
+        Sim.Trace.record t.trace ~op:"ipi" ~start ~outcome:"ack_lost" ()
+      end
+      else begin
+        f dst;
+        dst.Smp.ipi_acked <- dst.Smp.ipi_acked + 1;
+        Sim.Stats.incr t.stats "ipi_acked";
+        Sim.Trace.record t.trace ~op:"ipi" ~start ~outcome:"acked" ()
+      end
+    end
+  done
+
+let invalidate_page t ~va =
+  Tlb.invalidate_page (local t).Smp.tlb ~asid:t.asid ~va ();
+  ipi_round t (fun dst -> Tlb.invalidate_page dst.Smp.tlb ~asid:t.asid ~va ())
+
+(* Range-table bases falling inside [va, va+len): each needs its own
+   range-TLB shootdown alongside the page-TLB range invalidate. *)
+let range_bases t ~va ~len =
+  match t.range_table with
+  | None -> []
+  | Some rt ->
+    let acc = ref [] in
     Range_table.iter rt (fun e ->
         if e.Range_table.base >= va && e.Range_table.base < va + len then
-          Range_tlb.invalidate rtlb ~base:e.Range_table.base)
-  | _ -> ()
+          acc := e.Range_table.base :: !acc);
+    !acc
+
+let invalidate_range_on t (c : Smp.core) ~va ~len ~bases =
+  Tlb.invalidate_range c.Smp.tlb ~asid:t.asid ~va ~len ();
+  List.iter (fun base -> Range_tlb.invalidate c.Smp.range_tlb ~asid:t.asid ~base ()) bases
+
+let invalidate_range t ~va ~len =
+  let bases = range_bases t ~va ~len in
+  invalidate_range_on t (local t) ~va ~len ~bases;
+  ipi_round t (fun dst -> invalidate_range_on t dst ~va ~len ~bases)
+
+let invalidate_base t ~base =
+  Range_tlb.invalidate (local t).Smp.range_tlb ~asid:t.asid ~base ();
+  ipi_round t (fun dst -> Range_tlb.invalidate dst.Smp.range_tlb ~asid:t.asid ~base ())
+
+(* The batch exit path: every accumulated range invalidated locally, then
+   ONE IPI round in which each remote core processes the whole list —
+   this is the O(cores) amortisation (vs O(cores * pages) for unbatched
+   per-page shootdowns). At [Tlb.full_flush_threshold_pages]+ pages the
+   per-range work degenerates to full flushes on every involved core,
+   still one IPI round. *)
+let shootdown_ranges t ~ranges ~pages =
+  if pages >= Tlb.full_flush_threshold_pages then begin
+    flush_tlbs t;
+    ipi_round t (fun dst ->
+        Tlb.flush dst.Smp.tlb;
+        match t.range_table with
+        | Some _ -> Range_tlb.flush dst.Smp.range_tlb
+        | None -> ());
+    (* The OS believes every core is clean now; a lost ack silently
+       falsifies that belief (the stale entries stay behind). *)
+    t.cpumask <- 0
+  end
+  else begin
+    let rs = List.map (fun (va, len) -> (va, len, range_bases t ~va ~len)) ranges in
+    List.iter (fun (va, len, bases) -> invalidate_range_on t (local t) ~va ~len ~bases) rs;
+    ipi_round t (fun dst ->
+        List.iter (fun (va, len, bases) -> invalidate_range_on t dst ~va ~len ~bases) rs)
+  end

@@ -1,16 +1,25 @@
+(* Entries are kept in two interval-ordered maps keyed by (asid, base):
+   [by_key] for O(log n) point lookup and overlap eviction, [by_tick] for
+   O(log n) LRU victim selection. Cached ranges are pairwise disjoint per
+   ASID (insert evicts overlaps), so a point query is one predecessor
+   probe. Like the page {!Tlb}, one physical range TLB per core is shared
+   by every address space scheduled there, hence the ASID tag. *)
+
+module KeyMap = Map.Make (struct
+  type t = int * int (* asid, base *)
+
+  let compare = compare
+end)
+
 module IntMap = Map.Make (Int)
 
-(* Entries are kept in two interval-ordered maps: [by_base] for O(log n)
-   point lookup and overlap eviction, [by_tick] for O(log n) LRU victim
-   selection. Cached ranges are pairwise disjoint (insert evicts
-   overlaps), so a point query is one predecessor probe. *)
 type t = {
   clock : Sim.Clock.t;
   stats : Sim.Stats.t;
   trace : Sim.Trace.t;
   capacity : int;
-  mutable by_base : (Range_table.entry * int) IntMap.t; (* base -> entry, tick *)
-  mutable by_tick : int IntMap.t; (* tick -> base; min tick = LRU *)
+  mutable by_key : (Range_table.entry * int) KeyMap.t; (* (asid, base) -> entry, tick *)
+  mutable by_tick : (int * int) IntMap.t; (* tick -> (asid, base); min tick = LRU *)
   mutable tick : int;
 }
 
@@ -21,7 +30,7 @@ let create ~clock ~stats ?(trace = Sim.Trace.disabled) ?(entries = 32) () =
     stats;
     trace;
     capacity = entries;
-    by_base = IntMap.empty;
+    by_key = KeyMap.empty;
     by_tick = IntMap.empty;
     tick = 0;
   }
@@ -38,20 +47,21 @@ let touch t =
    Stats aggregates every range TLB sharing it. *)
 let gauge_delta t d = if d <> 0 then Sim.Stats.add_gauge t.stats "range_tlb_entries" d
 
-let drop t ~base ~tick =
-  t.by_base <- IntMap.remove base t.by_base;
+let drop t ~key ~tick =
+  t.by_key <- KeyMap.remove key t.by_key;
   t.by_tick <- IntMap.remove tick t.by_tick;
   gauge_delta t (-1)
 
-let lookup t ~va =
+let lookup t ?(asid = 0) ~va () =
   let start = Sim.Clock.now t.clock in
   Sim.Clock.charge t.clock (model t).Sim.Cost_model.tlb_hit;
   let hit =
-    match IntMap.find_last_opt (fun base -> base <= va) t.by_base with
-    | Some (base, ((e : Range_table.entry), tick)) when va < e.base + e.limit ->
+    match KeyMap.find_last_opt (fun (a, base) -> a < asid || (a = asid && base <= va)) t.by_key with
+    | Some (((a, _) as key), ((e : Range_table.entry), tick))
+      when a = asid && va < e.base + e.limit ->
       let now = touch t in
-      t.by_tick <- IntMap.add now base (IntMap.remove tick t.by_tick);
-      t.by_base <- IntMap.add base (e, now) t.by_base;
+      t.by_tick <- IntMap.add now key (IntMap.remove tick t.by_tick);
+      t.by_key <- KeyMap.add key (e, now) t.by_key;
       Some e
     | _ -> None
   in
@@ -63,45 +73,50 @@ let lookup t ~va =
     ();
   hit
 
-let insert t (e : Range_table.entry) =
-  (* Evict anything overlapping the new range, not just an equal base — a
-     stale overlapping entry would otherwise keep winning lookups. Cached
-     ranges are disjoint, so overlaps are the base-order predecessor plus
-     a run of successors starting inside [e]. *)
-  (match IntMap.find_last_opt (fun base -> base < e.base) t.by_base with
-  | Some (base, ((prev : Range_table.entry), tick)) when prev.base + prev.limit > e.base ->
-    drop t ~base ~tick
+let insert t ?(asid = 0) (e : Range_table.entry) =
+  (* Evict anything of the same ASID overlapping the new range, not just
+     an equal base — a stale overlapping entry would otherwise keep
+     winning lookups. Cached ranges are disjoint per ASID, so overlaps are
+     the base-order predecessor plus a run of successors starting inside
+     [e]. *)
+  (match KeyMap.find_last_opt (fun (a, base) -> a < asid || (a = asid && base < e.base)) t.by_key with
+  | Some (((a, _) as key), ((prev : Range_table.entry), tick))
+    when a = asid && prev.base + prev.limit > e.base ->
+    drop t ~key ~tick
   | _ -> ());
   let rec evict_from lo =
-    match IntMap.find_first_opt (fun base -> base >= lo) t.by_base with
-    | Some (base, (_, tick)) when base < e.base + e.limit ->
-      drop t ~base ~tick;
+    match KeyMap.find_first_opt (fun (a, base) -> a > asid || (a = asid && base >= lo)) t.by_key with
+    | Some (((a, base) as key), (_, tick)) when a = asid && base < e.base + e.limit ->
+      drop t ~key ~tick;
       evict_from (base + 1)
     | _ -> ()
   in
   evict_from e.base;
-  while IntMap.cardinal t.by_base >= t.capacity do
-    let tick, base = IntMap.min_binding t.by_tick in
-    drop t ~base ~tick
+  while KeyMap.cardinal t.by_key >= t.capacity do
+    let tick, key = IntMap.min_binding t.by_tick in
+    drop t ~key ~tick
   done;
   let now = touch t in
-  t.by_base <- IntMap.add e.base (e, now) t.by_base;
-  t.by_tick <- IntMap.add now e.base t.by_tick;
+  t.by_key <- KeyMap.add (asid, e.base) (e, now) t.by_key;
+  t.by_tick <- IntMap.add now (asid, e.base) t.by_tick;
   gauge_delta t 1
 
-let invalidate t ~base =
+let invalidate t ?(asid = 0) ~base () =
   let start = Sim.Clock.now t.clock in
   Sim.Clock.charge t.clock (Sim.Cost_model.shootdown_cost (model t));
   Sim.Stats.incr t.stats "range_tlb_shootdown";
-  (match IntMap.find_opt base t.by_base with
-  | Some (_, tick) -> drop t ~base ~tick
+  (match KeyMap.find_opt (asid, base) t.by_key with
+  | Some (_, tick) -> drop t ~key:(asid, base) ~tick
   | None -> ());
   Sim.Trace.record t.trace ~op:"range_tlb_shootdown" ~start ~arg:1 ()
 
-let flush t =
-  Sim.Clock.charge t.clock (Sim.Cost_model.shootdown_cost (model t));
-  gauge_delta t (-IntMap.cardinal t.by_base);
-  t.by_base <- IntMap.empty;
+let clear t =
+  gauge_delta t (-KeyMap.cardinal t.by_key);
+  t.by_key <- KeyMap.empty;
   t.by_tick <- IntMap.empty
 
-let entry_count t = IntMap.cardinal t.by_base
+let flush t =
+  Sim.Clock.charge t.clock (Sim.Cost_model.shootdown_cost (model t));
+  clear t
+
+let entry_count t = KeyMap.cardinal t.by_key

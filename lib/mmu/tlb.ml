@@ -1,8 +1,13 @@
 (* Each set is a fixed array of [ways] slots with a per-slot LRU clock:
    lookup, insert and eviction are all O(ways) array scans with no list
-   allocation — the O(1) hot path the rest of the simulator leans on. *)
+   allocation — the O(1) hot path the rest of the simulator leans on.
+
+   Entries are ASID-tagged (PCID-style): one physical TLB per core is
+   shared by every address space scheduled there, and invalidations are
+   scoped to one ASID while a full flush drops everything. *)
 type slot = {
   mutable valid : bool;
+  mutable asid : int;
   mutable tag : int;
   mutable size : Page_size.t;
   mutable pfn : Physmem.Frame.t;
@@ -18,13 +23,19 @@ type t = {
   ways : int;
   data : slot array array;
   mutable tick : int;
+  (* Local mirrors of the global "tlb_shootdown" / "tlb_flush" counters:
+     every bump of the shared stat bumps these by the same amount, so the
+     per-core sums must reconcile with the machine-wide stat (Os.Check
+     enforces it). *)
+  mutable shootdowns : int;
+  mutable flushes : int;
 }
 
 let create ~clock ~stats ?(trace = Sim.Trace.disabled) ?(sets = 128) ?(ways = 8) () =
   if sets <= 0 || ways <= 0 || not (Sim.Units.is_power_of_two sets) then
     invalid_arg "Tlb.create: sets must be a positive power of two";
   let mk_slot _ =
-    { valid = false; tag = 0; size = Page_size.Small; pfn = 0; prot = Prot.r; used = 0 }
+    { valid = false; asid = 0; tag = 0; size = Page_size.Small; pfn = 0; prot = Prot.r; used = 0 }
   in
   {
     clock;
@@ -34,14 +45,18 @@ let create ~clock ~stats ?(trace = Sim.Trace.disabled) ?(sets = 128) ?(ways = 8)
     ways;
     data = Array.init sets (fun _ -> Array.init ways mk_slot);
     tick = 0;
+    shootdowns = 0;
+    flushes = 0;
   }
 
 let capacity t = t.sets * t.ways
+let shootdowns t = t.shootdowns
+let flushes t = t.flushes
 
 let model t = Sim.Clock.model t.clock
 let prof t = Sim.Trace.profile t.trace
 
-(* Occupancy gauge: per-process TLBs share the machine Stats, so the
+(* Occupancy gauge: per-core TLBs share the machine Stats, so the
    gauge is maintained with deltas and reads as aggregate live entries. *)
 let gauge_delta t d = if d <> 0 then Sim.Stats.add_gauge t.stats "tlb_entries" d
 
@@ -59,17 +74,18 @@ let set_of t va size =
 
 let sizes = [ Page_size.Small; Page_size.Huge_2m; Page_size.Huge_1g ]
 
-let find_slot t va size =
+let find_slot t ~asid va size =
   let set = t.data.(set_of t va size) in
   let tag = tag_of va size in
   let found = ref None in
   for i = 0 to t.ways - 1 do
     let s = set.(i) in
-    if !found = None && s.valid && s.tag = tag && s.size = size then found := Some s
+    if !found = None && s.valid && s.asid = asid && s.tag = tag && s.size = size then
+      found := Some s
   done;
   !found
 
-let lookup t ~va =
+let lookup t ?(asid = 0) ~va () =
   Sim.Profile.span (prof t) "tlb_lookup" @@ fun () ->
   let start = Sim.Clock.now t.clock in
   Sim.Clock.charge t.clock (model t).Sim.Cost_model.tlb_hit;
@@ -77,7 +93,7 @@ let lookup t ~va =
   List.iter
     (fun size ->
       if !found = None then
-        match find_slot t va size with
+        match find_slot t ~asid va size with
         | Some s ->
           s.used <- touch t;
           found := Some (s.pfn, s.prot, s.size)
@@ -91,7 +107,7 @@ let lookup t ~va =
     ();
   !found
 
-let insert t ~va ~pfn ~prot ~size =
+let insert t ?(asid = 0) ~va ~pfn ~prot ~size () =
   let set = t.data.(set_of t va size) in
   let tag = tag_of va size in
   (* Reuse a matching or invalid slot; otherwise evict the LRU slot. *)
@@ -100,7 +116,7 @@ let insert t ~va ~pfn ~prot ~size =
   (try
      for i = 0 to t.ways - 1 do
        let s = set.(i) in
-       if s.valid && s.tag = tag && s.size = size then begin
+       if s.valid && s.asid = asid && s.tag = tag && s.size = size then begin
          victim := s;
          raise Found
        end;
@@ -111,24 +127,29 @@ let insert t ~va ~pfn ~prot ~size =
      done
    with Found -> ());
   let s = !victim in
-  if s.valid && not (s.tag = tag && s.size = size) then
+  if s.valid && not (s.asid = asid && s.tag = tag && s.size = size) then
     Sim.Stats.incr t.stats "tlb_evictions";
   if not s.valid then gauge_delta t 1;
   s.valid <- true;
+  s.asid <- asid;
   s.tag <- tag;
   s.size <- size;
   s.pfn <- pfn;
   s.prot <- prot;
   s.used <- touch t
 
-let invalidate_page t ~va =
+let count_shootdown t n =
+  Sim.Stats.add t.stats "tlb_shootdown" n;
+  t.shootdowns <- t.shootdowns + n
+
+let invalidate_page t ?(asid = 0) ~va () =
   Sim.Profile.span (prof t) "tlb_shootdown" @@ fun () ->
   let start = Sim.Clock.now t.clock in
   Sim.Clock.charge t.clock (Sim.Cost_model.shootdown_cost (model t));
-  Sim.Stats.incr t.stats "tlb_shootdown";
+  count_shootdown t 1;
   List.iter
     (fun size ->
-      match find_slot t va size with
+      match find_slot t ~asid va size with
       | Some s ->
         s.valid <- false;
         gauge_delta t (-1)
@@ -139,7 +160,10 @@ let invalidate_page t ~va =
 let iter t f =
   Array.iter
     (fun set ->
-      Array.iter (fun s -> if s.valid then f ~va:s.tag ~size:s.size ~pfn:s.pfn ~prot:s.prot) set)
+      Array.iter
+        (fun s ->
+          if s.valid then f ~asid:s.asid ~va:s.tag ~size:s.size ~pfn:s.pfn ~prot:s.prot)
+        set)
     t.data
 
 let entry_count t =
@@ -157,6 +181,7 @@ let flush t =
   let had = entry_count t in
   Sim.Clock.charge t.clock (Sim.Cost_model.shootdown_cost (model t));
   Sim.Stats.incr t.stats "tlb_flush";
+  t.flushes <- t.flushes + 1;
   clear t;
   Sim.Trace.record t.trace ~op:"tlb_flush" ~start ~arg:had ()
 
@@ -164,7 +189,7 @@ let flush t =
    flushes the whole TLB. *)
 let full_flush_threshold_pages = 33
 
-let invalidate_range t ~va ~len =
+let invalidate_range t ?(asid = 0) ~va ~len () =
   let pages = Sim.Units.pages_of_bytes len in
   if pages >= full_flush_threshold_pages then flush t
   else begin
@@ -173,13 +198,13 @@ let invalidate_range t ~va ~len =
     (* One INVLPG per page in the range, resident or not — same cost and
        stat accounting as [invalidate_page], applied n times. *)
     Sim.Clock.charge t.clock (pages * Sim.Cost_model.shootdown_cost (model t));
-    Sim.Stats.add t.stats "tlb_shootdown" pages;
+    count_shootdown t pages;
     let lo = va and hi = va + len in
     Array.iter
       (fun set ->
         Array.iter
           (fun s ->
-            if s.valid then begin
+            if s.valid && s.asid = asid then begin
               let e_lo = s.tag and e_hi = s.tag + Page_size.bytes s.size in
               if not (e_hi <= lo || e_lo >= hi) then begin
                 s.valid <- false;

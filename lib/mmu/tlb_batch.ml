@@ -20,17 +20,11 @@ let flush t =
     let clock = Mmu.clock t.mmu in
     let start = Sim.Clock.now clock in
     let full = t.pages >= Tlb.full_flush_threshold_pages in
-    let plane = Sim.Trace.faults (Mmu.trace t.mmu) in
-    if full then Mmu.flush_tlbs t.mmu
-    else
-      List.iter
-        (fun (va, len) ->
-          (* Lost shootdown acknowledgement: this range's INVLPGs never
-             happen, leaving stale TLB entries for Check to find. *)
-          if Sim.Fault_inject.fires plane ~site:Sim.Fault_inject.site_tlb_ack_lost then
-            Sim.Stats.incr (Mmu.stats t.mmu) "tlb_ack_lost"
-          else Mmu.invalidate_range t.mmu ~va ~len)
-        t.ranges;
+    (* One IPI round for the whole batch, however many ranges or pages it
+       holds — the shootdown analogue of mmu_gather. Ack loss is handled
+       inside the round: the victim core skips its invalidations and
+       keeps stale entries. *)
+    Mmu.shootdown_ranges t.mmu ~ranges:t.ranges ~pages:t.pages;
     Sim.Stats.incr (Mmu.stats t.mmu) "tlb_batch";
     Sim.Stats.add (Mmu.stats t.mmu) "tlb_batch_pages" t.pages;
     Sim.Trace.record (Mmu.trace t.mmu) ~op:"tlb_batch" ~start ~arg:t.pages

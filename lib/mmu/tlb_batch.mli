@@ -21,7 +21,10 @@ val pages : t -> int
 val flush : t -> unit
 (** Pay for the batch: below the threshold, per-page INVLPGs for each
     accumulated range (n shootdown charges); at or above it, one full
-    flush of both TLBs. Bumps "tlb_batch" and adds the page count to
-    "tlb_batch_pages"; records a "tlb_batch" trace span whose outcome is
-    ["invlpg"] or ["full_flush"]. Empty batches are free no-ops. The
-    batch resets and may be reused. *)
+    flush of both TLBs. Either way remote cores are interrupted with
+    exactly ONE IPI round for the whole batch
+    ({!Mmu.shootdown_ranges}) — O(cores) per batch, not per page. Bumps
+    "tlb_batch" and adds the page count to "tlb_batch_pages"; records a
+    "tlb_batch" trace span whose outcome is ["invlpg"] or
+    ["full_flush"]. Empty batches are free no-ops. The batch resets and
+    may be reused. *)

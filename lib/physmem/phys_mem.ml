@@ -11,22 +11,28 @@ type t = {
   trace : Sim.Trace.t;
   dram_frames : int;
   nvm_frames : int;
+  numa_nodes : int;
+  mutable accessor_node : int;
   contents : (int, frame_store) Hashtbl.t;
   mutable cache : Cache_hier.t option;
 }
 
-let create ~clock ~stats ?(trace = Sim.Trace.disabled) ~dram_bytes ~nvm_bytes () =
+let create ~clock ~stats ?(trace = Sim.Trace.disabled) ~dram_bytes ~nvm_bytes
+    ?(numa_nodes = 1) () =
   if not (Sim.Units.is_aligned dram_bytes ~align:Sim.Units.page_size) then
     invalid_arg "Phys_mem.create: dram_bytes not page-aligned";
   if not (Sim.Units.is_aligned nvm_bytes ~align:Sim.Units.page_size) then
     invalid_arg "Phys_mem.create: nvm_bytes not page-aligned";
   if dram_bytes + nvm_bytes <= 0 then invalid_arg "Phys_mem.create: empty machine";
+  if numa_nodes <= 0 then invalid_arg "Phys_mem.create: numa_nodes must be positive";
   {
     clock;
     stats;
     trace;
     dram_frames = dram_bytes / Sim.Units.page_size;
     nvm_frames = nvm_bytes / Sim.Units.page_size;
+    numa_nodes;
+    accessor_node = 0;
     contents = Hashtbl.create 1024;
     cache = None;
   }
@@ -45,23 +51,52 @@ let region_of_frame t pfn =
   if not (valid_frame t pfn) then invalid_arg "Phys_mem.region_of_frame: bad frame";
   if pfn < t.dram_frames then Dram else Nvm
 
-(* Flat (cache-less) memory charge for [lines] cache lines. *)
+let numa_nodes t = t.numa_nodes
+
+(* DRAM and NVM DIMMs are each partitioned contiguously across the NUMA
+   domains, so every node owns a slice of both media. *)
+let node_of_frame t pfn =
+  if not (valid_frame t pfn) then invalid_arg "Phys_mem.node_of_frame: bad frame";
+  if t.numa_nodes = 1 then 0
+  else if pfn < t.dram_frames then pfn * t.numa_nodes / t.dram_frames
+  else (pfn - t.dram_frames) * t.numa_nodes / t.nvm_frames
+
+let accessor_node t = t.accessor_node
+
+let set_accessor_node t node =
+  if node < 0 || node >= t.numa_nodes then invalid_arg "Phys_mem.set_accessor_node: bad node";
+  t.accessor_node <- node
+
+(* Flat (cache-less) memory charge for [lines] cache lines; remote-node
+   references pay the interconnect-hop price. *)
 let charge_access t ~addr ~lines ~write =
   let model = Sim.Clock.model t.clock in
   let pfn = Frame.of_addr addr in
-  match (region_of_frame t pfn, write) with
-  | Dram, false ->
-    Sim.Stats.add t.stats "dram_read" lines;
-    Sim.Clock.charge t.clock (lines * model.Sim.Cost_model.mem_ref_dram)
-  | Dram, true ->
-    Sim.Stats.add t.stats "dram_write" lines;
-    Sim.Clock.charge t.clock (lines * model.Sim.Cost_model.mem_ref_dram)
-  | Nvm, false ->
-    Sim.Stats.add t.stats "nvm_read" lines;
-    Sim.Clock.charge t.clock (lines * model.Sim.Cost_model.mem_ref_nvm_read)
-  | Nvm, true ->
-    Sim.Stats.add t.stats "nvm_write" lines;
-    Sim.Clock.charge t.clock (lines * model.Sim.Cost_model.mem_ref_nvm_write)
+  let remote = node_of_frame t pfn <> t.accessor_node in
+  if remote then Sim.Stats.add t.stats "numa_remote_ref" lines;
+  let m = model in
+  let cost =
+    match (region_of_frame t pfn, write, remote) with
+    | Dram, _, false ->
+      Sim.Stats.add t.stats (if write then "dram_write" else "dram_read") lines;
+      m.Sim.Cost_model.mem_ref_dram
+    | Dram, _, true ->
+      Sim.Stats.add t.stats (if write then "dram_write" else "dram_read") lines;
+      m.Sim.Cost_model.mem_ref_dram_remote
+    | Nvm, false, false ->
+      Sim.Stats.add t.stats "nvm_read" lines;
+      m.Sim.Cost_model.mem_ref_nvm_read
+    | Nvm, false, true ->
+      Sim.Stats.add t.stats "nvm_read" lines;
+      m.Sim.Cost_model.mem_ref_nvm_read_remote
+    | Nvm, true, false ->
+      Sim.Stats.add t.stats "nvm_write" lines;
+      m.Sim.Cost_model.mem_ref_nvm_write
+    | Nvm, true, true ->
+      Sim.Stats.add t.stats "nvm_write" lines;
+      m.Sim.Cost_model.mem_ref_nvm_write_remote
+  in
+  Sim.Clock.charge t.clock (lines * cost)
 
 let lines_covered ~addr ~len =
   if len <= 0 then 0

@@ -20,11 +20,15 @@ val create :
   ?trace:Sim.Trace.t ->
   dram_bytes:int ->
   nvm_bytes:int ->
+  ?numa_nodes:int ->
   unit ->
   t
 (** Both sizes must be page-aligned and >= 0; total must be > 0. [trace]
     (default {!Sim.Trace.disabled}) is carried for components built on
-    top of this memory (file system, fault handler) to record into. *)
+    top of this memory (file system, fault handler) to record into.
+    [numa_nodes] (default 1) partitions each medium's frames contiguously
+    across that many NUMA domains; accesses from a different domain
+    (see {!set_accessor_node}) pay the model's remote reference costs. *)
 
 val clock : t -> Sim.Clock.t
 val stats : t -> Sim.Stats.t
@@ -46,6 +50,21 @@ val nvm_frames : t -> int
 
 val region_of_frame : t -> Frame.t -> region
 (** Raises [Invalid_argument] for an out-of-range frame. *)
+
+val numa_nodes : t -> int
+
+val node_of_frame : t -> Frame.t -> int
+(** NUMA domain owning this frame (DRAM and NVM are each split
+    contiguously across the domains). Raises [Invalid_argument] for an
+    out-of-range frame. *)
+
+val accessor_node : t -> int
+
+val set_accessor_node : t -> int -> unit
+(** Set the NUMA domain subsequent accesses originate from (the kernel
+    points this at the running process's core before each access).
+    References to frames owned by another domain charge the remote
+    DRAM/NVM costs and bump "numa_remote_ref". *)
 
 val valid_frame : t -> Frame.t -> bool
 

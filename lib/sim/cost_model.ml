@@ -8,6 +8,9 @@ type t = {
   mem_ref_dram : int;
   mem_ref_nvm_read : int;
   mem_ref_nvm_write : int;
+  mem_ref_dram_remote : int;
+  mem_ref_nvm_read_remote : int;
+  mem_ref_nvm_write_remote : int;
   cache_ref : int;
   tlb_hit : int;
   tlb_shootdown : int;
@@ -37,6 +40,9 @@ let default =
     mem_ref_dram = 80;
     mem_ref_nvm_read = 120;
     mem_ref_nvm_write = 400;
+    mem_ref_dram_remote = 130;
+    mem_ref_nvm_read_remote = 190;
+    mem_ref_nvm_write_remote = 640;
     cache_ref = 4;
     tlb_hit = 1;
     tlb_shootdown = 400;
@@ -55,7 +61,12 @@ let default =
     copy_byte_den = 8;
   }
 
-let shootdown_cost t = t.tlb_shootdown + ((t.cores - 1) * t.ipi)
+(* Local invalidation only. Remote-core invalidation is not an analytic
+   multiplier any more: {!Hw.Mmu} sends explicit IPIs (charged at [ipi]
+   each) to exactly the cores that may cache the address space, so IPI
+   traffic is measured, not extrapolated — a purely local flush (context
+   switch, single-core machine) costs exactly [tlb_shootdown]. *)
+let shootdown_cost t = t.tlb_shootdown
 
 let cycles_to_us t c = float_of_int c /. (t.freq_ghz *. 1000.0)
 let cycles_to_ms t c = cycles_to_us t c /. 1000.0
@@ -74,6 +85,9 @@ let to_json t =
       ("mem_ref_dram", Json.Int t.mem_ref_dram);
       ("mem_ref_nvm_read", Json.Int t.mem_ref_nvm_read);
       ("mem_ref_nvm_write", Json.Int t.mem_ref_nvm_write);
+      ("mem_ref_dram_remote", Json.Int t.mem_ref_dram_remote);
+      ("mem_ref_nvm_read_remote", Json.Int t.mem_ref_nvm_read_remote);
+      ("mem_ref_nvm_write_remote", Json.Int t.mem_ref_nvm_write_remote);
       ("cache_ref", Json.Int t.cache_ref);
       ("tlb_hit", Json.Int t.tlb_hit);
       ("tlb_shootdown", Json.Int t.tlb_shootdown);

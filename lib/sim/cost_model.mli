@@ -13,14 +13,17 @@ type t = {
   pte_write : int;  (** Allocating + writing one last-level PTE (populate path). *)
   pt_node_alloc : int;  (** Allocating one page-table node (any level). *)
   fault_trap : int;  (** Page-fault trap + kernel fault-path dispatch. *)
-  mem_ref_dram : int;  (** One cache-missing memory reference to DRAM. *)
-  mem_ref_nvm_read : int;  (** One read reference to NVM. *)
-  mem_ref_nvm_write : int;  (** One write reference to NVM. *)
+  mem_ref_dram : int;  (** One cache-missing memory reference to NUMA-local DRAM. *)
+  mem_ref_nvm_read : int;  (** One read reference to NUMA-local NVM. *)
+  mem_ref_nvm_write : int;  (** One write reference to NUMA-local NVM. *)
+  mem_ref_dram_remote : int;  (** DRAM reference crossing a NUMA interconnect hop. *)
+  mem_ref_nvm_read_remote : int;  (** NVM read from a remote NUMA domain. *)
+  mem_ref_nvm_write_remote : int;  (** NVM write to a remote NUMA domain. *)
   cache_ref : int;  (** One cache-hitting reference. *)
   tlb_hit : int;  (** TLB lookup that hits. *)
   tlb_shootdown : int;  (** Local TLB invalidation of one entry or range (INVLPG-class). *)
-  cores : int;  (** CPUs sharing the address space: each remote core adds one IPI per shootdown. *)
-  ipi : int;  (** Cost of interrupting one remote core for a shootdown. *)
+  cores : int;  (** Informational default core count; the simulated machine's real core count lives in [Os.Kernel.config]. *)
+  ipi : int;  (** Cost of one IPI round-trip to a remote core (send + remote handler + ack). *)
   zero_byte_num : int;  (** Zeroing cost numerator: cycles per... *)
   zero_byte_den : int;  (** ...this many bytes (default 1 cycle / 4 B). *)
   zero_cache_pop : int;  (** Popping one frame off the pre-zeroed cache (the O(1) handout). *)
@@ -43,9 +46,10 @@ val cycles_to_us : t -> int -> float
 val cycles_to_ms : t -> int -> float
 
 val shootdown_cost : t -> int
-(** Full cost of one TLB shootdown: local invalidation plus one IPI per
-    remote core — the multiplier that makes per-page unmap painful on big
-    SMP boxes and single-operation range unmap attractive. *)
+(** Cost of one {e local} TLB invalidation (INVLPG-class), i.e. exactly
+    [tlb_shootdown]. Remote cores are not folded in analytically: the MMU
+    layer sends explicit IPIs, charged at [ipi] per remote core actually
+    interrupted, so the O(cores) tax shows up as measured IPI traffic. *)
 
 val zero_cost : t -> bytes:int -> int
 (** Cycles to zero [bytes] bytes with the model's zeroing bandwidth. *)

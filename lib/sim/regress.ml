@@ -187,6 +187,14 @@ let compare_faults acc ~threshold old_doc new_doc =
   | None, None -> ()
   | o, n -> compare_faults_obj acc ~threshold ~section:"faults" (fields o) (fields n)
 
+(* The "smp" section: machine-wide and per-core IPI/TLB/NUMA counters
+   from the 4-core migration workload — the same recursive numeric walk,
+   since every leaf is a virtual-clock-exact integer. *)
+let compare_smp acc ~threshold old_doc new_doc =
+  match (path old_doc [ "smp" ], path new_doc [ "smp" ]) with
+  | None, None -> ()
+  | o, n -> compare_faults_obj acc ~threshold ~section:"smp" (fields o) (fields n)
+
 (* Wall-clock ops/sec per scenario: direction is inverted (lower = worse)
    and the numbers are real time, hence noisy — drops only count as
    regressions when the caller opts in with [gate]. *)
@@ -253,6 +261,7 @@ let compare_docs ?(threshold_pct = 10.0) ?(gate_throughput = false) ~old_doc ~ne
       compare_latency acc ~threshold:threshold_pct old_doc new_doc;
       compare_complexity acc old_doc new_doc;
       compare_faults acc ~threshold:threshold_pct old_doc new_doc;
+      compare_smp acc ~threshold:threshold_pct old_doc new_doc;
       compare_throughput acc ~threshold:threshold_pct ~gate:gate_throughput old_doc new_doc;
       Ok { threshold_pct; compared = acc.n; deltas = List.rev acc.rows })
 

@@ -6,9 +6,11 @@ val create :
   clock:Sim.Clock.t -> stats:Sim.Stats.t -> ?trace:Sim.Trace.t -> levels:int ->
   alloc_pt_frame:(unit -> Physmem.Frame.t) -> ?range_table:Hw.Range_table.t ->
   ?mode:Hw.Walker.mode -> ?tlb_sets:int -> ?tlb_ways:int -> ?range_tlb_entries:int ->
-  ?mmap_base:int -> unit -> t
+  ?smp:Hw.Smp.t -> ?asid:int -> ?mmap_base:int -> unit -> t
 (** [mmap_base] overrides the default bump-allocation base (used for
-    address-space layout randomization). *)
+    address-space layout randomization). [smp]/[asid] place the address
+    space on a shared machine with a unique ASID (the kernel passes
+    [asid] = pid); omitted, the MMU gets a private single-core machine. *)
 
 val page_table : t -> Hw.Page_table.t
 val mmu : t -> Hw.Mmu.t

@@ -120,26 +120,58 @@ let check_mapcounts acc kernel procs =
           :: !acc)
     refs
 
-(* After every batched shootdown completed, no TLB may hold a translation
-   the page table no longer backs — a lost shootdown ack shows up here. *)
-let check_tlb acc procs =
-  List.iter
-    (fun (proc : Proc.t) ->
-      let table = Address_space.page_table proc.Proc.aspace in
-      let tlb = Hw.Mmu.tlb (Address_space.mmu proc.Proc.aspace) in
-      Hw.Tlb.iter tlb (fun ~va ~size ~pfn ~prot ->
+(* After every batched shootdown completed, no core's TLB may hold a
+   translation the owning page table no longer backs — a lost shootdown
+   ack (the victim core skipped its invalidate) shows up here, on
+   whichever core kept the stale entry. Entries are resolved to their
+   address space through the ASID (= pid). *)
+let check_tlb acc kernel procs =
+  let by_asid = Hashtbl.create 16 in
+  List.iter (fun (p : Proc.t) -> Hashtbl.replace by_asid p.Proc.pid p) procs;
+  Hw.Smp.iter_cores (Kernel.smp kernel) (fun core ->
+      Hw.Tlb.iter core.Hw.Smp.tlb (fun ~asid ~va ~size ~pfn ~prot ->
           let stale detail =
             acc :=
-              { check = "tlb_coherence"; detail = Printf.sprintf "pid %d va 0x%x: %s" proc.Proc.pid va detail }
+              {
+                check = "tlb_coherence";
+                detail = Printf.sprintf "core %d asid %d va 0x%x: %s" core.Hw.Smp.id asid va detail;
+              }
               :: !acc
           in
-          match Hw.Page_table.lookup table ~va with
-          | None -> stale "TLB entry with no page-table leaf"
-          | Some (_, leaf) ->
-            if leaf.Hw.Page_table.size <> size then stale "page-size mismatch"
-            else if leaf.Hw.Page_table.pfn <> pfn then stale "frame mismatch"
-            else if leaf.Hw.Page_table.prot <> prot then stale "protection mismatch"))
-    procs
+          match Hashtbl.find_opt by_asid asid with
+          | None -> stale "TLB entry for dead address space"
+          | Some proc -> (
+            let table = Address_space.page_table proc.Proc.aspace in
+            match Hw.Page_table.lookup table ~va with
+            | None -> stale "TLB entry with no page-table leaf"
+            | Some (_, leaf) ->
+              if leaf.Hw.Page_table.size <> size then stale "page-size mismatch"
+              else if leaf.Hw.Page_table.pfn <> pfn then stale "frame mismatch"
+              else if leaf.Hw.Page_table.prot <> prot then stale "protection mismatch")))
+
+(* Per-core TLB counters are local mirrors of the machine-wide stats:
+   their sums must reconcile exactly, whichever invalidation branch
+   (per-page INVLPG, range, full flush) did the bumping. *)
+let check_tlb_accounting acc kernel =
+  let stats = Kernel.stats kernel in
+  let shootdowns = ref 0 and flushes = ref 0 in
+  Hw.Smp.iter_cores (Kernel.smp kernel) (fun core ->
+      shootdowns := !shootdowns + Hw.Tlb.shootdowns core.Hw.Smp.tlb;
+      flushes := !flushes + Hw.Tlb.flushes core.Hw.Smp.tlb);
+  let reconcile name local =
+    let global = Sim.Stats.get stats name in
+    if local <> global then
+      acc :=
+        {
+          check = "tlb_accounting";
+          detail =
+            Printf.sprintf "per-core %s counters sum to %d but the global stat is %d" name local
+              global;
+        }
+        :: !acc
+  in
+  reconcile "tlb_shootdown" !shootdowns;
+  reconcile "tlb_flush" !flushes
 
 (* The quota, the extent trees and the space bitmap are three views of
    the same resource; they must agree exactly. *)
@@ -172,7 +204,8 @@ let run kernel =
   in
   check_vma_pt acc procs;
   check_mapcounts acc kernel procs;
-  check_tlb acc procs;
+  check_tlb acc kernel procs;
+  check_tlb_accounting acc kernel;
   check_fs acc ~name:"tmpfs" (Kernel.tmpfs kernel);
   (match Kernel.pmfs kernel with Some fs -> check_fs acc ~name:"pmfs" fs | None -> ());
   List.rev !acc

@@ -11,9 +11,13 @@
       equals [Page_meta.mapcount], and no mapcount exceeds its refcount.
       FOM mappings (grafts, range translations) are file-owned and
       deliberately outside struct-page accounting, so they are excluded.
-    - {b tlb_coherence} — every valid TLB entry still matches the page
-      table (existence, frame, page size, protection): a lost batched
-      shootdown surfaces here.
+    - {b tlb_coherence} — on every core, every valid TLB entry still
+      belongs to a live address space (ASID = pid) and matches its page
+      table (existence, frame, page size, protection): a lost shootdown
+      ack surfaces here, on whichever core kept the stale entry.
+    - {b tlb_accounting} — the per-core [Hw.Tlb] shootdown and flush
+      counters sum exactly to the machine-wide "tlb_shootdown" /
+      "tlb_flush" stats, whichever invalidation branch did the bumping.
     - {b fs_accounting} — per file system, quota charge == extent-tree
       pages == space-bitmap usage.
 

@@ -88,7 +88,14 @@ let install ctx aspace ~va ~pfn ~prot =
     ~pfn ~prot ~size:Hw.Page_size.Small;
   Page_meta.get_page ctx.meta pfn;
   Page_meta.inc_mapcount ctx.meta pfn;
-  Page_meta.set_flag ctx.meta pfn Page_meta.Uptodate true
+  Page_meta.set_flag ctx.meta pfn Page_meta.Uptodate true;
+  (* NUMA placement accounting: did the faulting core get a frame from
+     its own domain? (Every install funnels through here.) *)
+  if Physmem.Phys_mem.numa_nodes ctx.mem > 1 then
+    Sim.Stats.incr (stats ctx)
+      (if Physmem.Phys_mem.node_of_frame ctx.mem pfn = Physmem.Phys_mem.accessor_node ctx.mem
+       then "numa_local_alloc"
+       else "numa_remote_alloc")
 
 let populate_anon_page ctx ~aspace ~va ~prot =
   let pfn = fresh_zero_frame ctx in
@@ -134,7 +141,7 @@ let cow ctx aspace ~va ~(old_leaf : Hw.Page_table.leaf) ~prot ~anon_backing =
      File frames stay — the file system owns them. *)
   if anon_backing && Page_meta.mapcount ctx.meta old_pfn = 0 then
     Physmem.Zero_engine.put_dirty ctx.zero [ old_pfn ];
-  Hw.Tlb.invalidate_page (Hw.Mmu.tlb (Address_space.mmu aspace)) ~va:page_va;
+  Hw.Mmu.invalidate_page (Address_space.mmu aspace) ~va:page_va;
   install ctx aspace ~va:page_va ~pfn ~prot;
   Sim.Stats.incr (stats ctx) "cow_fault"
 

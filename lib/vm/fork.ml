@@ -56,7 +56,7 @@ let fork k (parent : Proc.t) =
             if leaf.Hw.Page_table.prot.Hw.Prot.write then begin
               leaf.Hw.Page_table.prot <- ro;
               Sim.Clock.charge clock model.Sim.Cost_model.pte_write;
-              Hw.Tlb.invalidate_page (Hw.Mmu.tlb (Address_space.mmu p_as)) ~va
+              Hw.Mmu.invalidate_page (Address_space.mmu p_as) ~va
             end;
             Hw.Page_table.map_page c_table ~va ~pfn ~prot:ro ~size:Hw.Page_size.Small;
             Page_meta.get_page meta pfn;

@@ -7,6 +7,8 @@ type config = {
   levels : int;
   walk_mode : Hw.Walker.mode;
   reclaim_policy : Reclaim.policy;
+  cores : int;
+  numa_nodes : int;
   tlb_sets : int;
   tlb_ways : int;
   range_tlb_entries : int;
@@ -24,6 +26,8 @@ let default_config =
     levels = 4;
     walk_mode = Hw.Walker.Native;
     reclaim_policy = Reclaim.Clock;
+    cores = 1;
+    numa_nodes = 1;
     tlb_sets = 128;
     tlb_ways = 8;
     range_tlb_entries = 32;
@@ -40,6 +44,8 @@ type t = {
   stats : Sim.Stats.t;
   trace : Sim.Trace.t;
   mem : Phys_mem.t;
+  smp : Hw.Smp.t;
+  sched : Sched.t;
   meta : Page_meta.t;
   buddy : Alloc.Buddy.t;
   zero : Physmem.Zero_engine.t;
@@ -62,8 +68,14 @@ let create ?(config = default_config) () =
   let trace = Sim.Trace.create ~clock ~capacity:config.trace_capacity () in
   let mem =
     Phys_mem.create ~clock ~stats ~trace ~dram_bytes:config.dram_bytes
-      ~nvm_bytes:config.nvm_bytes ()
+      ~nvm_bytes:config.nvm_bytes ~numa_nodes:config.numa_nodes ()
   in
+  let smp =
+    Hw.Smp.create ~clock ~stats ~trace ~cores:config.cores ~numa_nodes:config.numa_nodes
+      ~tlb_sets:config.tlb_sets ~tlb_ways:config.tlb_ways
+      ~range_tlb_entries:config.range_tlb_entries ()
+  in
+  let sched = Sched.create ~cores:config.cores in
   let dram_frames = Phys_mem.dram_frames mem in
   (* DRAM layout: the low half is the buddy-managed anonymous pool
      (rounded to the buddy's block size); the rest backs tmpfs. *)
@@ -108,6 +120,8 @@ let create ?(config = default_config) () =
     stats;
     trace;
     mem;
+    smp;
+    sched;
     meta;
     buddy;
     zero;
@@ -123,6 +137,8 @@ let create ?(config = default_config) () =
   }
 
 let config t = t.config
+let smp t = t.smp
+let sched t = t.sched
 let clock t = t.clock
 let stats t = t.stats
 let trace t = t.trace
@@ -181,13 +197,28 @@ let create_process t ?(range_translations = false) () =
   in
   let aspace =
     Address_space.create ~clock:t.clock ~stats:t.stats ~trace:t.trace ~levels:t.config.levels
-      ~alloc_pt_frame:(alloc_pt_frame t) ?range_table ~mode:t.config.walk_mode
-      ~tlb_sets:t.config.tlb_sets ~tlb_ways:t.config.tlb_ways
-      ~range_tlb_entries:t.config.range_tlb_entries ?mmap_base ()
+      ~alloc_pt_frame:(alloc_pt_frame t) ?range_table ~mode:t.config.walk_mode ~smp:t.smp
+      ~asid:pid ?mmap_base ()
   in
-  let p = Proc.create ~pid ~aspace in
+  (* Round-robin placement: the pid is the ASID tagging this address
+     space's entries in whichever core's TLBs it warms. *)
+  let core = Sched.pick t.sched ~affinity:(-1) in
+  Hw.Mmu.set_core (Address_space.mmu aspace) core;
+  let p = Proc.create ~pid ~aspace ~core ~affinity:(-1) () in
   Hashtbl.replace t.procs pid p;
   p
+
+let migrate t proc ~core =
+  if core < 0 || core >= Hw.Smp.cores t.smp then invalid_arg "Kernel.migrate: no such core";
+  if proc.Proc.affinity land (1 lsl core) = 0 then
+    invalid_arg "Kernel.migrate: core not in affinity mask";
+  if core <> proc.Proc.core then begin
+    Sim.Profile.span (prof t) "migrate" @@ fun () ->
+    charge t (model t).Sim.Cost_model.scheduler;
+    Sim.Stats.incr t.stats "migration";
+    proc.Proc.core <- core;
+    Hw.Mmu.set_core (Address_space.mmu proc.Proc.aspace) core
+  end
 
 let process_count t = Hashtbl.length t.procs
 let processes t = t.procs
@@ -273,9 +304,13 @@ let reset_after_crash t =
   Userfault.clear t.userfault;
   Reclaim.clear t.reclaim;
   Page_meta.reset_after_crash t.meta;
-  (* Per-process TLBs died with their processes; the aggregate gauge must
-     not keep reporting pre-crash occupancy. *)
+  (* Every core's TLBs lost power with the machine; host-side clear keeps
+     the occupancy gauges consistent with zero (the post-recovery
+     invariant checker walks these TLBs, so they must not carry pre-crash
+     entries for dead address spaces). *)
+  Hw.Smp.clear t.smp;
   Sim.Stats.set_gauge t.stats "tlb_entries" 0;
+  Sim.Stats.set_gauge t.stats "range_tlb_entries" 0;
   Sim.Stats.set_gauge t.stats "zero_cache_depth" (Alloc.Zero_cache.depth t.zcache)
 
 let register_if_anon t proc ~va =
@@ -377,7 +412,7 @@ let madvise_dontneed t proc ~va ~len =
       when leaf.Hw.Page_table.size = Hw.Page_size.Small ->
       let pfn = leaf.Hw.Page_table.pfn in
       Hw.Page_table.unmap_page table ~va:page_va;
-      Hw.Tlb.invalidate_page (Hw.Mmu.tlb (Address_space.mmu aspace)) ~va:page_va;
+      Hw.Mmu.invalidate_page (Address_space.mmu aspace) ~va:page_va;
       Page_meta.dec_mapcount t.meta pfn;
       Page_meta.put_page t.meta pfn;
       if Page_meta.mapcount t.meta pfn = 0 then Physmem.Zero_engine.put_dirty t.zero [ pfn ];
@@ -422,14 +457,14 @@ let user_page_release t proc ~va =
   | Some (_, leaf) ->
     let pfn = leaf.Hw.Page_table.pfn in
     Hw.Page_table.unmap_page table ~va:page_va;
-    Hw.Tlb.invalidate_page (Hw.Mmu.tlb (Address_space.mmu aspace)) ~va:page_va;
+    Hw.Mmu.invalidate_page (Address_space.mmu aspace) ~va:page_va;
     Page_meta.dec_mapcount t.meta pfn;
     Page_meta.put_page t.meta pfn;
     Physmem.Zero_engine.put_dirty t.zero [ pfn ];
     Sim.Stats.incr t.stats "userfault_evict";
     Some pfn
 
-let rec access t proc ~va ~write =
+let rec access_inner t proc ~va ~write =
   Sim.Profile.span (prof t) "access" @@ fun () ->
   let aspace = proc.Proc.aspace in
   match Hw.Mmu.access (Address_space.mmu aspace) ~mem:t.mem ~va ~write with
@@ -442,7 +477,7 @@ let rec access t proc ~va ~write =
     | None, Some (handler, prot) ->
       (* Missing page in a registered range: user-level paging. *)
       handle_userfault t proc ~va ~write ~prot ~handler;
-      access t proc ~va ~write
+      access_inner t proc ~va ~write
     | _ -> kernel_fault t proc ~va ~write);
     ()
 
@@ -458,7 +493,17 @@ and kernel_fault t proc ~va ~write =
      | None -> ())
    | Fault.Minor -> ());
   register_if_anon t proc ~va;
-  access t proc ~va ~write
+  access_inner t proc ~va ~write
+
+(* Cycle attribution: everything the access spent (translation, fault
+   handling, shootdown IPIs it triggered) is billed to the core the
+   process runs on, so per-core busy cycles expose the makespan of an
+   SMP workload even though the virtual timeline is sequential. *)
+let access t proc ~va ~write =
+  let start = Sim.Clock.now t.clock in
+  Phys_mem.set_accessor_node t.mem (Hw.Smp.numa_node_of_core t.smp proc.Proc.core);
+  access_inner t proc ~va ~write;
+  Hw.Smp.add_busy t.smp proc.Proc.core (Sim.Clock.now t.clock - start)
 
 let access_range t proc ~va ~len ~write ~stride =
   if stride <= 0 then invalid_arg "Kernel.access_range: bad stride";

@@ -13,6 +13,8 @@ type config = {
   levels : int;  (** page-table levels: 4 or 5 *)
   walk_mode : Hw.Walker.mode;
   reclaim_policy : Reclaim.policy;
+  cores : int;  (** simulated cores, each with its own TLB + range TLB *)
+  numa_nodes : int;  (** NUMA domains; cores and frames are partitioned contiguously *)
   tlb_sets : int;
   tlb_ways : int;
   range_tlb_entries : int;  (** capacity given to processes created with range translations *)
@@ -24,8 +26,9 @@ type config = {
 }
 
 val default_config : config
-(** 1 GiB DRAM + 4 GiB NVM, 4 levels, native walks, CLOCK reclaim,
-    1024-entry TLB, 32-entry range TLB, default cost model. *)
+(** 1 GiB DRAM + 4 GiB NVM, 4 levels, native walks, CLOCK reclaim, 1 core
+    on 1 NUMA node, 1024-entry TLB, 32-entry range TLB, default cost
+    model. *)
 
 type t
 
@@ -34,6 +37,12 @@ val create : ?config:config -> unit -> t
 (** {1 Machine access} *)
 
 val config : t -> config
+
+val smp : t -> Hw.Smp.t
+(** The machine's core complex: per-core TLBs, IPI counters, busy-cycle
+    attribution. *)
+
+val sched : t -> Sched.t
 val clock : t -> Sim.Clock.t
 val stats : t -> Sim.Stats.t
 
@@ -69,8 +78,19 @@ val charge_boot : t -> unit
 (** {1 Processes} *)
 
 val create_process : t -> ?range_translations:bool -> unit -> Proc.t
-(** A fresh process. With [range_translations] it gets a range table and
-    range TLB in addition to its radix page table. *)
+(** A fresh process, placed on a core by the round-robin scheduler; its
+    pid doubles as the ASID tagging its entries in the shared per-core
+    TLBs. With [range_translations] it gets a range table (and the use of
+    each core's range TLB) in addition to its radix page table. *)
+
+val migrate : t -> Proc.t -> core:int -> unit
+(** Move a process to another core (must be inside its affinity mask):
+    charges one scheduler slice, bumps "migration", and repoints the
+    MMU so subsequent translations fill the new core's TLBs. Entries
+    left on the old core stay in the address space's cpumask and are
+    shot down by the next invalidation — exactly the cross-core
+    coherence traffic the complexity sweeps measure. No-op if already
+    there. *)
 
 val exit_process : t -> Proc.t -> unit
 (** Tear down every mapping and mark the process dead. Per-page PTE and
@@ -80,12 +100,13 @@ val exit_process : t -> Proc.t -> unit
 
 val reset_after_crash : t -> unit
 (** Power failure, kernel side: drop every process, userfault
-    registration, reclaim list and struct-page record (all DRAM state),
-    and re-baseline the "resident_pages" / "tlb_entries" /
-    "zero_cache_depth" gauges so post-crash observability doesn't report
-    pre-crash occupancy. Host-side only — the machine is off, so no
-    cycles are charged. Persistent structures (buddy-held page-table
-    frames, file extents) are untouched. *)
+    registration, reclaim list, struct-page record (all DRAM state) and
+    every core's TLB contents, and re-baseline the "resident_pages" /
+    "tlb_entries" / "range_tlb_entries" / "zero_cache_depth" gauges so
+    post-crash observability doesn't report pre-crash occupancy.
+    Host-side only — the machine is off, so no cycles are charged.
+    Persistent structures (buddy-held page-table frames, file extents)
+    are untouched. *)
 
 val process_count : t -> int
 

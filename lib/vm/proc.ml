@@ -1,8 +1,16 @@
-type t = { pid : int; aspace : Address_space.t; mutable alive : bool }
+type t = {
+  pid : int;
+  aspace : Address_space.t;
+  mutable alive : bool;
+  mutable core : int;
+  mutable affinity : int;
+}
 
-let create ~pid ~aspace = { pid; aspace; alive = true }
+let create ~pid ~aspace ?(core = 0) ?(affinity = -1) () =
+  { pid; aspace; alive = true; core; affinity }
 
 let pp ppf t =
-  Format.fprintf ppf "pid %d (%s, %d vmas)" t.pid
+  Format.fprintf ppf "pid %d (%s, %d vmas, core %d)" t.pid
     (if t.alive then "alive" else "dead")
     (Address_space.vma_count t.aspace)
+    t.core

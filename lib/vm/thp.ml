@@ -53,8 +53,7 @@ let try_collapse k (proc : Proc.t) ~window ~prot ~min_pages =
           Page_meta.put_page meta pfn;
           Physmem.Zero_engine.put_dirty (Kernel.zero_engine k) [ pfn ])
         present;
-      Hw.Tlb.invalidate_range (Hw.Mmu.tlb (Address_space.mmu aspace)) ~va:window
-        ~len:Sim.Units.huge_2m;
+      Hw.Mmu.invalidate_range (Address_space.mmu aspace) ~va:window ~len:Sim.Units.huge_2m;
       (* One huge leaf replaces them all. *)
       Hw.Page_table.map_page table ~va:window ~pfn:block ~prot ~size:Hw.Page_size.Huge_2m;
       Page_meta.get_page meta block;
@@ -107,7 +106,7 @@ let split_huge k (proc : Proc.t) ~va =
     let block = leaf.Hw.Page_table.pfn in
     let prot = leaf.Hw.Page_table.prot in
     Hw.Page_table.unmap_page table ~va:window;
-    Hw.Tlb.invalidate_page (Hw.Mmu.tlb (Address_space.mmu aspace)) ~va:window;
+    Hw.Mmu.invalidate_page (Address_space.mmu aspace) ~va:window;
     (* Remap the same physical block as 512 base pages. *)
     for i = 0 to pages_per_huge - 1 do
       Hw.Page_table.map_page table

@@ -16,6 +16,7 @@ let () =
       ("workload", Test_workload.suite);
       ("extensions", Test_extensions.suite);
       ("model", Test_model.suite);
+      ("smp", Test_smp.suite);
       ("faults", Test_faults.suite);
       ("integration", Test_integration.suite);
     ]

@@ -117,7 +117,7 @@ let test_fault_path_uses_cache () =
 let test_tlb_evictions_counter () =
   let clock, stats = mk_env () in
   let tlb = Hw.Tlb.create ~clock ~stats ~sets:1 ~ways:2 () in
-  let ins va = Hw.Tlb.insert tlb ~va ~pfn:1 ~prot:Hw.Prot.rw ~size:Hw.Page_size.Small in
+  let ins va = Hw.Tlb.insert tlb ~va ~pfn:1 ~prot:Hw.Prot.rw ~size:Hw.Page_size.Small () in
   ins 0;
   ins page;
   check_int "fills are not evictions" 0 (Sim.Stats.get stats "tlb_evictions");
@@ -192,13 +192,13 @@ let prop_range_tlb_vs_linear_model =
             Hw.Range_tlb.insert rtlb e;
             Linear_model.insert model e
           | Lookup va ->
-            let a = Hw.Range_tlb.lookup rtlb ~va in
+            let a = Hw.Range_tlb.lookup rtlb ~va () in
             let b = Linear_model.lookup model ~va in
             if a <> b then
               QCheck2.Test.fail_reportf "lookup %d diverged (va=%d)" va
                 (match a with Some e -> e.Hw.Range_table.base | None -> -1)
           | Invalidate base ->
-            Hw.Range_tlb.invalidate rtlb ~base;
+            Hw.Range_tlb.invalidate rtlb ~base ();
             Linear_model.invalidate model ~base)
         ops;
       Hw.Range_tlb.entry_count rtlb = Linear_model.entry_count model)

@@ -184,10 +184,15 @@ let test_check_detects_planted_bug () =
     (List.exists (fun v -> v.Os.Check.check = "mapcount") vs)
 
 let test_check_detects_lost_shootdown () =
-  let k, plane = mk_faulted_kernel () in
+  (* A lost ack only matters on a REMOTE core: fill core 0's TLB, migrate
+     to core 1, and unmap from there. The IPI back to core 0 drops its
+     ack, so core 0 skips the invalidate and keeps the stale entries. *)
+  let config = { chaos_config with Os.Kernel.cores = 2 } in
+  let k, plane = mk_faulted_kernel ~config () in
   let p = K.create_process k () in
   let va = K.mmap_anon k p ~len:(Sim.Units.kib 16) ~prot:Hw.Prot.rw ~populate:true in
   ignore (K.access_range k p ~va ~len:(Sim.Units.kib 16) ~write:false ~stride:Sim.Units.page_size);
+  K.migrate k p ~core:1;
   FI.arm plane ~site:FI.site_tlb_ack_lost FI.Always;
   K.munmap k p ~va ~len:(Sim.Units.kib 16);
   let vs = Os.Check.run k in

@@ -200,9 +200,9 @@ let mk_tlb () =
 
 let test_tlb_hit_miss () =
   let tlb, _, stats = mk_tlb () in
-  check_bool "cold miss" true (Hw.Tlb.lookup tlb ~va:0x1000 = None);
-  Hw.Tlb.insert tlb ~va:0x1000 ~pfn:5 ~prot:Hw.Prot.rw ~size:Hw.Page_size.Small;
-  (match Hw.Tlb.lookup tlb ~va:0x1234 with
+  check_bool "cold miss" true (Hw.Tlb.lookup tlb ~va:0x1000 () = None);
+  Hw.Tlb.insert tlb ~va:0x1000 ~pfn:5 ~prot:Hw.Prot.rw ~size:Hw.Page_size.Small ();
+  (match Hw.Tlb.lookup tlb ~va:0x1234 () with
   | Some (pfn, _, size) ->
     check_int "pfn" 5 pfn;
     check_bool "size" true (size = Hw.Page_size.Small)
@@ -214,32 +214,32 @@ let test_tlb_lru_eviction () =
   let tlb, _, _ = mk_tlb () in
   (* Fill one set beyond capacity: vpns congruent mod 4. *)
   let va i = i * 4 * 4096 in
-  Hw.Tlb.insert tlb ~va:(va 0) ~pfn:0 ~prot:Hw.Prot.rw ~size:Hw.Page_size.Small;
-  Hw.Tlb.insert tlb ~va:(va 1) ~pfn:1 ~prot:Hw.Prot.rw ~size:Hw.Page_size.Small;
-  ignore (Hw.Tlb.lookup tlb ~va:(va 0));
+  Hw.Tlb.insert tlb ~va:(va 0) ~pfn:0 ~prot:Hw.Prot.rw ~size:Hw.Page_size.Small ();
+  Hw.Tlb.insert tlb ~va:(va 1) ~pfn:1 ~prot:Hw.Prot.rw ~size:Hw.Page_size.Small ();
+  ignore (Hw.Tlb.lookup tlb ~va:(va 0) ());
   (* va0 is MRU; inserting a third evicts va1. *)
-  Hw.Tlb.insert tlb ~va:(va 2) ~pfn:2 ~prot:Hw.Prot.rw ~size:Hw.Page_size.Small;
-  check_bool "va0 survives" true (Hw.Tlb.lookup tlb ~va:(va 0) <> None);
-  check_bool "va1 evicted" true (Hw.Tlb.lookup tlb ~va:(va 1) = None)
+  Hw.Tlb.insert tlb ~va:(va 2) ~pfn:2 ~prot:Hw.Prot.rw ~size:Hw.Page_size.Small ();
+  check_bool "va0 survives" true (Hw.Tlb.lookup tlb ~va:(va 0) () <> None);
+  check_bool "va1 evicted" true (Hw.Tlb.lookup tlb ~va:(va 1) () = None)
 
 let test_tlb_huge_entry () =
   let tlb, _, _ = mk_tlb () in
-  Hw.Tlb.insert tlb ~va:Sim.Units.huge_2m ~pfn:512 ~prot:Hw.Prot.rw ~size:Hw.Page_size.Huge_2m;
+  Hw.Tlb.insert tlb ~va:Sim.Units.huge_2m ~pfn:512 ~prot:Hw.Prot.rw ~size:Hw.Page_size.Huge_2m ();
   (* One entry covers the whole 2 MiB. *)
-  check_bool "start" true (Hw.Tlb.lookup tlb ~va:Sim.Units.huge_2m <> None);
-  check_bool "middle" true (Hw.Tlb.lookup tlb ~va:(Sim.Units.huge_2m + Sim.Units.mib 1) <> None);
-  check_bool "past end" true (Hw.Tlb.lookup tlb ~va:(2 * Sim.Units.huge_2m) = None)
+  check_bool "start" true (Hw.Tlb.lookup tlb ~va:Sim.Units.huge_2m () <> None);
+  check_bool "middle" true (Hw.Tlb.lookup tlb ~va:(Sim.Units.huge_2m + Sim.Units.mib 1) () <> None);
+  check_bool "past end" true (Hw.Tlb.lookup tlb ~va:(2 * Sim.Units.huge_2m) () = None)
 
 let test_tlb_invalidate () =
   let tlb, _, _ = mk_tlb () in
-  Hw.Tlb.insert tlb ~va:0x1000 ~pfn:1 ~prot:Hw.Prot.rw ~size:Hw.Page_size.Small;
-  Hw.Tlb.insert tlb ~va:0x2000 ~pfn:2 ~prot:Hw.Prot.rw ~size:Hw.Page_size.Small;
-  Hw.Tlb.invalidate_page tlb ~va:0x1000;
-  check_bool "gone" true (Hw.Tlb.lookup tlb ~va:0x1000 = None);
-  check_bool "other survives" true (Hw.Tlb.lookup tlb ~va:0x2000 <> None);
-  Hw.Tlb.invalidate_range tlb ~va:0 ~len:(Sim.Units.mib 1);
-  check_bool "range cleared" true (Hw.Tlb.lookup tlb ~va:0x2000 = None);
-  Hw.Tlb.insert tlb ~va:0x3000 ~pfn:3 ~prot:Hw.Prot.rw ~size:Hw.Page_size.Small;
+  Hw.Tlb.insert tlb ~va:0x1000 ~pfn:1 ~prot:Hw.Prot.rw ~size:Hw.Page_size.Small ();
+  Hw.Tlb.insert tlb ~va:0x2000 ~pfn:2 ~prot:Hw.Prot.rw ~size:Hw.Page_size.Small ();
+  Hw.Tlb.invalidate_page tlb ~va:0x1000 ();
+  check_bool "gone" true (Hw.Tlb.lookup tlb ~va:0x1000 () = None);
+  check_bool "other survives" true (Hw.Tlb.lookup tlb ~va:0x2000 () <> None);
+  Hw.Tlb.invalidate_range tlb ~va:0 ~len:(Sim.Units.mib 1) ();
+  check_bool "range cleared" true (Hw.Tlb.lookup tlb ~va:0x2000 () = None);
+  Hw.Tlb.insert tlb ~va:0x3000 ~pfn:3 ~prot:Hw.Prot.rw ~size:Hw.Page_size.Small ();
   Hw.Tlb.flush tlb;
   check_int "flush empties" 0 (Hw.Tlb.entry_count tlb)
 
@@ -248,24 +248,24 @@ let test_tlb_invalidate_range_accounting () =
   let per_page = Sim.Cost_model.shootdown_cost Sim.Cost_model.default in
   (* 2 resident pages inside an 8-page range: one INVLPG per page in the
      range, resident or not — never one up-front plus one per eviction. *)
-  Hw.Tlb.insert tlb ~va:0x1000 ~pfn:1 ~prot:Hw.Prot.rw ~size:Hw.Page_size.Small;
-  Hw.Tlb.insert tlb ~va:0x3000 ~pfn:3 ~prot:Hw.Prot.rw ~size:Hw.Page_size.Small;
+  Hw.Tlb.insert tlb ~va:0x1000 ~pfn:1 ~prot:Hw.Prot.rw ~size:Hw.Page_size.Small ();
+  Hw.Tlb.insert tlb ~va:0x3000 ~pfn:3 ~prot:Hw.Prot.rw ~size:Hw.Page_size.Small ();
   let t0 = Sim.Clock.now clock and s0 = Sim.Stats.get stats "tlb_shootdown" in
-  Hw.Tlb.invalidate_range tlb ~va:0 ~len:(8 * Sim.Units.page_size);
+  Hw.Tlb.invalidate_range tlb ~va:0 ~len:(8 * Sim.Units.page_size) ();
   check_int "8-page range charges 8 INVLPGs" (8 * per_page) (Sim.Clock.now clock - t0);
   check_int "counter counts INVLPGs, not evictions" 8 (Sim.Stats.get stats "tlb_shootdown" - s0);
   check_int "resident entries dropped" 0 (Hw.Tlb.entry_count tlb);
   (* A fully non-resident range must charge and count the same way. *)
   let t1 = Sim.Clock.now clock and s1 = Sim.Stats.get stats "tlb_shootdown" in
-  Hw.Tlb.invalidate_range tlb ~va:(Sim.Units.mib 1) ~len:(4 * Sim.Units.page_size);
+  Hw.Tlb.invalidate_range tlb ~va:(Sim.Units.mib 1) ~len:(4 * Sim.Units.page_size) ();
   check_int "non-resident range still charges per page" (4 * per_page) (Sim.Clock.now clock - t1);
   check_int "non-resident range still counts per page" 4 (Sim.Stats.get stats "tlb_shootdown" - s1)
 
 let test_tlb_invalidate_range_full_flush () =
   let tlb, clock, stats = mk_tlb () in
-  Hw.Tlb.insert tlb ~va:0x1000 ~pfn:1 ~prot:Hw.Prot.rw ~size:Hw.Page_size.Small;
+  Hw.Tlb.insert tlb ~va:0x1000 ~pfn:1 ~prot:Hw.Prot.rw ~size:Hw.Page_size.Small ();
   let t0 = Sim.Clock.now clock in
-  Hw.Tlb.invalidate_range tlb ~va:0 ~len:(33 * Sim.Units.page_size);
+  Hw.Tlb.invalidate_range tlb ~va:0 ~len:(33 * Sim.Units.page_size) ();
   check_int "33+ pages cost one full flush, not 33 INVLPGs"
     (Sim.Cost_model.shootdown_cost Sim.Cost_model.default)
     (Sim.Clock.now clock - t0);
@@ -311,12 +311,12 @@ let test_range_tlb_lru_and_shootdown () =
   let e base = { Hw.Range_table.base; limit = 4096; offset = 0; prot = Hw.Prot.rw } in
   Hw.Range_tlb.insert rtlb (e 0);
   Hw.Range_tlb.insert rtlb (e 4096);
-  ignore (Hw.Range_tlb.lookup rtlb ~va:0);
+  ignore (Hw.Range_tlb.lookup rtlb ~va:0 ());
   Hw.Range_tlb.insert rtlb (e 8192);
-  check_bool "MRU kept" true (Hw.Range_tlb.lookup rtlb ~va:0 <> None);
-  check_bool "LRU evicted" true (Hw.Range_tlb.lookup rtlb ~va:4096 = None);
-  Hw.Range_tlb.invalidate rtlb ~base:0;
-  check_bool "shootdown" true (Hw.Range_tlb.lookup rtlb ~va:0 = None);
+  check_bool "MRU kept" true (Hw.Range_tlb.lookup rtlb ~va:0 () <> None);
+  check_bool "LRU evicted" true (Hw.Range_tlb.lookup rtlb ~va:4096 () = None);
+  Hw.Range_tlb.invalidate rtlb ~base:0 ();
+  check_bool "shootdown" true (Hw.Range_tlb.lookup rtlb ~va:0 () = None);
   check_int "misses counted" 2 (Sim.Stats.get stats "range_tlb_miss")
 
 let test_range_tlb_insert_overlap_evicts () =
@@ -328,11 +328,11 @@ let test_range_tlb_insert_overlap_evicts () =
      must be evicted or a lookup in the overlap could return either. *)
   Hw.Range_tlb.insert rtlb (e ~base:Sim.Units.page_size ~limit:(Sim.Units.kib 8) ~offset:100);
   check_int "overlapping entry evicted" 1 (Hw.Range_tlb.entry_count rtlb);
-  (match Hw.Range_tlb.lookup rtlb ~va:Sim.Units.page_size with
+  (match Hw.Range_tlb.lookup rtlb ~va:Sim.Units.page_size () with
   | Some hit -> check_int "fresh entry wins in the overlap" 100 hit.Hw.Range_table.offset
   | None -> Alcotest.fail "expected range TLB hit");
   check_bool "va only the stale entry covered now misses" true
-    (Hw.Range_tlb.lookup rtlb ~va:0 = None);
+    (Hw.Range_tlb.lookup rtlb ~va:0 () = None);
   Hw.Range_tlb.insert rtlb (e ~base:(Sim.Units.mib 1) ~limit:Sim.Units.page_size ~offset:7);
   check_int "disjoint entries coexist" 2 (Hw.Range_tlb.entry_count rtlb)
 
@@ -581,10 +581,10 @@ let prop_tlb_vs_lru_model =
         (fun vpn ->
           let va = vpn * Sim.Units.page_size in
           let model_hit = List.mem vpn !model in
-          let tlb_hit = Hw.Tlb.lookup tlb ~va <> None in
+          let tlb_hit = Hw.Tlb.lookup tlb ~va () <> None in
           (if model_hit then model := vpn :: List.filter (( <> ) vpn) !model
            else begin
-             Hw.Tlb.insert tlb ~va ~pfn:vpn ~prot:Hw.Prot.rw ~size:Hw.Page_size.Small;
+             Hw.Tlb.insert tlb ~va ~pfn:vpn ~prot:Hw.Prot.rw ~size:Hw.Page_size.Small ();
              model := vpn :: List.filteri (fun i _ -> i < 3) (List.filter (( <> ) vpn) !model)
            end);
           tlb_hit = model_hit)
