@@ -47,6 +47,19 @@ profile:
 	dune exec bin/o1mem_cli.exe -- profile --backend malloc
 	dune exec bin/o1mem_cli.exe -- profile --backend fom
 
+# T1 Chrome timeline for the 4-core migration workload: per-core slices,
+# causal flow arrows, sampled busy counters. Load timeline.json in
+# chrome://tracing or https://ui.perfetto.dev.
+timeline:
+	dune exec bin/o1mem_cli.exe -- timeline > timeline.json
+	python3 -m json.tool timeline.json > /dev/null && echo "timeline.json ok"
+
+# T1 makespan decomposition + machine-checked O(1) batched critical path.
+# Exit 1 if attribution falls below 95% or a hop-count sweep misses its
+# class. CI runs this.
+critical-path:
+	dune exec bin/o1mem_cli.exe -- critical-path
+
 # R1 chaos matrix: crash-at-every-step explorers plus every named fault
 # plan under a fixed seed matrix. Exit 1 on any unexpected invariant
 # violation (see EXPERIMENTS.md "R1 — does it survive?"). CI runs this.
@@ -56,4 +69,4 @@ chaos:
 	dune exec bin/o1mem_cli.exe -- faults --seed 2017 --plan each
 	dune exec bin/o1mem_cli.exe -- faults --seed 99 --plan tlb --rounds 32
 
-.PHONY: all test test-verbose bench examples clean check bench-diff throughput profile chaos
+.PHONY: all test test-verbose bench examples clean check bench-diff throughput profile chaos timeline critical-path

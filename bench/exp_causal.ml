@@ -1,0 +1,305 @@
+(* T1 — where does the makespan go?
+
+   The 4-core migration workload from the SMP section, re-run with the
+   causal plane attached: every process touches its pages, migrates to
+   the next core, touches them again (now partly remote in NUMA terms)
+   and unmaps — each teardown a cross-core shootdown. The causal graph
+   collected along the way decomposes the makespan (max per-core busy
+   cycles) into work / IPI-wait / scheduler / remote-NUMA shares, and
+   the critical-path engine reports the longest dependent chain.
+
+   On top of the workload, two C1-style sweeps make the paper's claim
+   about batching machine-checkable on the *graph* rather than on
+   cycles: the critical path of a per-page shootdown grows one
+   send→deliver→ack hop group per page (O(pages)), while a batched
+   shootdown keeps one IPI round whatever the batch size (O(1) hops).
+
+   Everything runs on the virtual clock: identical output across runs
+   and hosts. *)
+
+module K = Os.Kernel
+module C = Sim.Complexity
+open Bench_env
+
+(* Gauge series cadence for the per-core busy counters: fine enough to
+   see per-process phases on a ~1M-cycle workload, coarse enough to stay
+   far from the 1024-point series bound. *)
+let sample_interval = 20_000
+
+let attach k =
+  let causal = Sim.Causal.create ~clock:(K.clock k) () in
+  Sim.Trace.attach_causal (K.trace k) causal;
+  Sim.Stats.set_sample_interval (K.stats k) ~cycles:sample_interval;
+  causal
+
+(* The SMP bench workload (exp_metrics) plus a post-migration read pass:
+   after the hop, the process's frames live on its old core's NUMA node,
+   so the second pass generates the remote references T1 attributes. *)
+let run_migration ?(cores = 4) ?(numa_nodes = 2) () =
+  let k = kernel ~cores ~numa_nodes () in
+  let causal = attach k in
+  let procs = List.init cores (fun _ -> K.create_process k ()) in
+  List.iteri
+    (fun i p ->
+      let len = Sim.Units.kib 64 in
+      let va = K.mmap_anon k p ~len ~prot:Hw.Prot.rw ~populate:false in
+      ignore (K.access_range k p ~va ~len ~write:true ~stride:Sim.Units.page_size);
+      K.migrate k p ~core:((i + 1) mod cores);
+      ignore (K.access_range k p ~va ~len ~write:false ~stride:Sim.Units.page_size);
+      K.munmap k p ~va ~len)
+    procs;
+  (k, causal)
+
+(* ---------------------- critical-path sweeps ----------------------- *)
+
+(* A standalone shootdown rig (exp_complexity's [smp_env] with the trace
+   and causal plane live): [cores] cores all caching [pages]
+   translations of address space 1, so every core is a shootdown
+   target. [f] runs the teardown; the measurement is the causal graph's
+   longest chain in HOPS, not cycles — per-page INVLPG work between
+   deliver and ack makes even the batched path's *cycles* grow with the
+   batch, but its hop count cannot. *)
+let causal_env ~cores ~pages f =
+  let clock = Sim.Clock.create Sim.Cost_model.default in
+  let stats = Sim.Stats.create () in
+  let trace = Sim.Trace.create ~clock () in
+  let causal = Sim.Causal.create ~clock () in
+  Sim.Trace.attach_causal trace causal;
+  let next = ref 0 in
+  let alloc_frame () =
+    incr next;
+    !next
+  in
+  let table = Hw.Page_table.create ~clock ~stats ~levels:4 ~alloc_frame in
+  let smp = Hw.Smp.create ~clock ~stats ~trace ~cores () in
+  let mmu = Hw.Mmu.create ~clock ~stats ~trace ~table ~smp ~asid:1 () in
+  for i = 0 to pages - 1 do
+    Hw.Page_table.map_page table ~va:(i * Sim.Units.page_size) ~pfn:(1000 + i)
+      ~prot:Hw.Prot.rw ~size:Hw.Page_size.Small
+  done;
+  for c = 0 to cores - 1 do
+    Hw.Mmu.set_core mmu c;
+    for i = 0 to pages - 1 do
+      ignore (Hw.Mmu.translate mmu ~va:(i * Sim.Units.page_size) ~write:false ~exec:false)
+    done
+  done;
+  Hw.Mmu.set_core mmu 0;
+  (* Only the teardown's own interactions count. *)
+  Sim.Causal.reset causal;
+  f mmu pages;
+  (Sim.Causal.critical_path causal).Sim.Causal.hops
+
+(* 1 .. 32 pages: below the 33-page full-flush threshold, so the
+   per-page path really is one IPI round per page. *)
+let pages_sweep = [ 1; 2; 4; 8; 16; 32 ]
+
+let per_page_hops pages =
+  causal_env ~cores:4 ~pages (fun mmu pages ->
+      for i = 0 to pages - 1 do
+        Hw.Mmu.invalidate_page mmu ~va:(i * Sim.Units.page_size)
+      done)
+
+let batched_hops pages =
+  causal_env ~cores:4 ~pages (fun mmu pages ->
+      let batch = Hw.Tlb_batch.create mmu in
+      Hw.Tlb_batch.add batch ~va:0 ~len:(pages * Sim.Units.page_size);
+      Hw.Tlb_batch.flush batch)
+
+type sweep_result = {
+  sw_name : string;
+  sw_expected : C.cls;
+  sw_points : (int * int) list;
+  sw_fit : C.fit;
+}
+
+let run_sweep name expected measure =
+  let points = List.map (fun n -> (n, measure n)) pages_sweep in
+  { sw_name = name; sw_expected = expected; sw_points = points; sw_fit = C.fit points }
+
+type t = { kernel : K.t; causal : Sim.Causal.t; sweeps : sweep_result list }
+
+(* Deterministic, so one run per process serves the JSON exporter, the
+   console report, and the timeline alike. *)
+let all =
+  lazy
+    (let k, causal = run_migration () in
+     {
+       kernel = k;
+       causal;
+       sweeps =
+         [
+           run_sweep "critical_path_per_page_hops" C.Linear per_page_hops;
+           run_sweep "critical_path_batched_hops" C.Constant batched_hops;
+         ];
+     })
+
+let results () = Lazy.force all
+
+(* ------------------------------ export ----------------------------- *)
+
+let sweep_to_json r =
+  let fit_fields = match C.fit_to_json r.sw_fit with Sim.Json.Obj f -> f | _ -> [] in
+  Sim.Json.Obj
+    (("expected", Sim.Json.String (C.cls_name r.sw_expected))
+    :: ("match", Sim.Json.Bool (r.sw_fit.C.cls = r.sw_expected))
+    :: fit_fields
+    @ [
+        ("unit", Sim.Json.String "pages");
+        ("hops_min", Sim.Json.Int (snd (List.hd r.sw_points)));
+        ("hops_max", Sim.Json.Int (snd (List.nth r.sw_points (List.length r.sw_points - 1))));
+      ])
+
+let to_json () =
+  let r = results () in
+  let cau = r.causal in
+  let frac = Sim.Causal.attributed_fraction cau in
+  let cp = Sim.Causal.critical_path cau in
+  let mk =
+    match Sim.Causal.makespan_core cau with Some b -> b.Sim.Causal.bd_core | None -> -1
+  in
+  Sim.Json.Obj
+    [
+      ("workload", Sim.Json.String "smp_migration");
+      ("cores", Sim.Json.Int (Hw.Smp.cores (K.smp r.kernel)));
+      ("numa_nodes", Sim.Json.Int (Hw.Smp.numa_nodes (K.smp r.kernel)));
+      ("nodes", Sim.Json.Int (Sim.Causal.node_count cau));
+      ("edges", Sim.Json.Int (Sim.Causal.edge_count cau));
+      ("makespan_cycles", Sim.Json.Int (Sim.Causal.makespan cau));
+      ("makespan_core", Sim.Json.Int mk);
+      ("attributed_fraction", Sim.Json.Float frac);
+      ("attributed", Sim.Json.Bool (frac >= 0.95));
+      ( "per_core",
+        Sim.Json.Obj
+          (List.map
+             (fun b ->
+               ( Printf.sprintf "core%d" b.Sim.Causal.bd_core,
+                 Sim.Json.Obj
+                   [
+                     ("busy", Sim.Json.Int b.Sim.Causal.bd_busy);
+                     ("work", Sim.Json.Int b.Sim.Causal.work);
+                     ("ipi_wait", Sim.Json.Int b.Sim.Causal.ipi_wait);
+                     ("sched", Sim.Json.Int b.Sim.Causal.sched);
+                     ("numa_remote", Sim.Json.Int b.Sim.Causal.numa_remote);
+                   ] ))
+             (Sim.Causal.breakdowns cau)) );
+      ( "critical_path",
+        Sim.Json.Obj
+          [
+            ("hops", Sim.Json.Int cp.Sim.Causal.hops);
+            ("cycles", Sim.Json.Int cp.Sim.Causal.cycles);
+          ] );
+      ( "ipi_latency",
+        match Sim.Causal.to_json cau with
+        | Sim.Json.Obj fields ->
+          Option.value (List.assoc_opt "ipi_latency" fields) ~default:Sim.Json.Null
+        | _ -> Sim.Json.Null );
+      ( "numa_traffic",
+        match Sim.Causal.to_json cau with
+        | Sim.Json.Obj fields ->
+          Option.value (List.assoc_opt "numa_traffic" fields) ~default:Sim.Json.Null
+        | _ -> Sim.Json.Null );
+      ("sweeps", Sim.Json.Obj (List.map (fun s -> (s.sw_name, sweep_to_json s)) r.sweeps));
+    ]
+
+(* ------------------------- Chrome timeline ------------------------- *)
+
+(* One self-contained trace-event document: the trace ring as per-core
+   slices, the causal graph as flow arrows between them, the sampled
+   core<N>_busy gauges as counter tracks, and thread-name metadata so
+   chrome://tracing labels each core's track. *)
+let timeline_json () =
+  let r = results () in
+  let k = r.kernel in
+  let cores = Hw.Smp.cores (K.smp k) in
+  let thread_meta =
+    List.init cores (fun i ->
+        Sim.Json.Obj
+          [
+            ("name", Sim.Json.String "thread_name");
+            ("ph", Sim.Json.String "M");
+            ("pid", Sim.Json.Int 1);
+            ("tid", Sim.Json.Int i);
+            ( "args",
+              Sim.Json.Obj [ ("name", Sim.Json.String (Printf.sprintf "core %d" i)) ] );
+          ])
+  in
+  let counters =
+    List.concat
+      (List.init cores (fun i ->
+           let name = Printf.sprintf "core%d_busy" i in
+           List.map
+             (fun (ts, v) ->
+               Sim.Json.Obj
+                 [
+                   ("name", Sim.Json.String name);
+                   ("ph", Sim.Json.String "C");
+                   ("ts", Sim.Json.Int ts);
+                   ("pid", Sim.Json.Int 1);
+                   ("args", Sim.Json.Obj [ ("busy", Sim.Json.Int v) ]);
+                 ])
+             (Sim.Stats.series (K.stats k) name)))
+  in
+  Sim.Json.Obj
+    [
+      ( "traceEvents",
+        Sim.Json.List
+          (thread_meta
+          @ Sim.Trace.chrome_events (K.trace k)
+          @ Sim.Causal.chrome_events r.causal
+          @ counters) );
+      ("displayTimeUnit", Sim.Json.String "ns");
+      ( "otherData",
+        Sim.Json.Obj
+          [
+            ("workload", Sim.Json.String "smp_migration");
+            ("time_unit", Sim.Json.String "virtual cycles as microseconds");
+          ] );
+    ]
+
+(* ------------------------------ report ----------------------------- *)
+
+let run () =
+  print_header "T1" "Where does the makespan go? Causal critical-path decomposition.";
+  let r = results () in
+  let cau = r.causal in
+  let t =
+    Sim.Table.create ~title:"T1 - per-core makespan decomposition (cycles)"
+      ~columns:[ "core"; "busy"; "work"; "ipi_wait"; "sched"; "numa_remote" ]
+  in
+  List.iter
+    (fun b ->
+      Sim.Table.add_row t
+        [
+          string_of_int b.Sim.Causal.bd_core;
+          string_of_int b.Sim.Causal.bd_busy;
+          string_of_int b.Sim.Causal.work;
+          string_of_int b.Sim.Causal.ipi_wait;
+          string_of_int b.Sim.Causal.sched;
+          string_of_int b.Sim.Causal.numa_remote;
+        ])
+    (Sim.Causal.breakdowns cau);
+  Sim.Table.print t;
+  let cp = Sim.Causal.critical_path cau in
+  Printf.printf "makespan: %d cycles (core %d), %.1f%% attributed to named shares\n"
+    (Sim.Causal.makespan cau)
+    (match Sim.Causal.makespan_core cau with Some b -> b.Sim.Causal.bd_core | None -> -1)
+    (100.0 *. Sim.Causal.attributed_fraction cau);
+  Printf.printf "critical path: %d hops spanning %d cycles\n" cp.Sim.Causal.hops
+    cp.Sim.Causal.cycles;
+  let st =
+    Sim.Table.create ~title:"T1 - shootdown critical path vs batch size (hops on the graph)"
+      ~columns:[ "sweep"; "expected"; "fitted"; "hops(1)"; "hops(32)"; "ok" ]
+  in
+  List.iter
+    (fun s ->
+      Sim.Table.add_row st
+        [
+          s.sw_name;
+          C.cls_name s.sw_expected;
+          C.cls_name s.sw_fit.C.cls;
+          string_of_int (snd (List.hd s.sw_points));
+          string_of_int (snd (List.nth s.sw_points (List.length s.sw_points - 1)));
+          (if s.sw_fit.C.cls = s.sw_expected then "yes" else "NO");
+        ])
+    r.sweeps;
+  Sim.Table.print st

@@ -111,7 +111,7 @@ let smp_to_json () =
      ]
     @ per_core)
 
-let schema_version = "o1mem.metrics/6"
+let schema_version = "o1mem.metrics/7"
 
 (* Provenance: everything a reader needs to decide whether two exports are
    comparable. Runs under different cost models or trace capacities would
@@ -137,6 +137,7 @@ let to_json ?events_limit k =
       ("profile", Exp_profile.to_json ());
       ("faults", Exp_faults.to_json ());
       ("smp", smp_to_json ());
+      ("causal", Exp_causal.to_json ());
     ]
 
 let run_to_json ?events_limit () = to_json ?events_limit (run_workload ())

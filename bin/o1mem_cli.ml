@@ -232,6 +232,11 @@ let top backend ops k_spans =
         (Os.Address_space.vma_count pr.Os.Proc.aspace))
     procs;
   print_newline ();
+  Printf.printf "%-6s %-6s %12s %10s %10s %10s\n" "CORE" "NODE" "BUSY" "IPI_SENT" "IPI_RCVD" "IPI_ACKED";
+  Hw.Smp.iter_cores (Os.Kernel.smp k) (fun c ->
+      Printf.printf "%-6d %-6d %12d %10d %10d %10d\n" c.Hw.Smp.id c.Hw.Smp.numa_node
+        c.Hw.Smp.busy_cycles c.Hw.Smp.ipi_sent c.Hw.Smp.ipi_received c.Hw.Smp.ipi_acked);
+  print_newline ();
   Printf.printf "%-24s %10s %10s\n" "GAUGE" "VALUE" "HWM";
   List.iter
     (fun (name, v, hwm) -> Printf.printf "%-24s %10d %10d\n" name v hwm)
@@ -256,6 +261,60 @@ let top_cmd =
   let ops = Arg.(value & opt int 400 & info [ "ops" ] ~doc:"Operations in the trace.") in
   let k_spans = Arg.(value & opt int 10 & info [ "spans" ] ~doc:"Spans to show.") in
   Cmd.v (Cmd.info "top" ~doc) Term.(const top $ backend $ ops $ k_spans)
+
+(* ---------------------------- timeline ----------------------------- *)
+
+let timeline compact =
+  print_string (Sim.Json.to_string ~pretty:(not compact) (Experiments.Exp_causal.timeline_json ()));
+  print_newline ()
+
+let timeline_cmd =
+  let doc =
+    "Run the 4-core migration workload with the causal plane attached and print a Chrome \
+     trace-event JSON: per-core slices, causal flow arrows (IPI/migrate/sched/NUMA/reclaim), \
+     and sampled per-core busy counters. Load the output in chrome://tracing or \
+     https://ui.perfetto.dev"
+  in
+  let compact = Arg.(value & flag & info [ "compact" ] ~doc:"Single-line JSON output.") in
+  Cmd.v (Cmd.info "timeline" ~doc) Term.(const timeline $ compact)
+
+(* -------------------------- critical-path -------------------------- *)
+
+(* Exit codes: 0 = the causal engine attributes >= 95% of the makespan
+   and both hop-count sweeps land on their expected class, 1 = either
+   gate failed. *)
+let critical_path () =
+  Experiments.Exp_causal.run ();
+  let ok = ref true in
+  (match Sim.Json.member (Experiments.Exp_causal.to_json ()) "attributed" with
+  | Some (Sim.Json.Bool true) -> ()
+  | _ ->
+    Printf.eprintf "critical-path: < 95%% of makespan cycles attributed to named shares\n";
+    ok := false);
+  (match Sim.Json.member (Experiments.Exp_causal.to_json ()) "sweeps" with
+  | Some (Sim.Json.Obj sweeps) ->
+    List.iter
+      (fun (name, s) ->
+        match Sim.Json.member s "match" with
+        | Some (Sim.Json.Bool true) -> ()
+        | _ ->
+          Printf.eprintf "critical-path: sweep %s off its expected complexity class\n" name;
+          ok := false)
+      sweeps
+  | _ ->
+    Printf.eprintf "critical-path: no sweeps in the causal export\n";
+    ok := false);
+  if not !ok then exit 1
+
+let critical_path_cmd =
+  let doc =
+    "Decompose the 4-core migration workload's makespan into work / IPI-wait / scheduler / \
+     remote-NUMA shares via the causal graph, report the longest dependent chain, and \
+     machine-check that a batched shootdown's critical path stays O(1) in batch size while the \
+     per-page path grows O(pages); exits non-zero if attribution falls below 95% or a sweep \
+     misses its class"
+  in
+  Cmd.v (Cmd.info "critical-path" ~doc) Term.(const critical_path $ const ())
 
 (* ----------------------------- faults ------------------------------ *)
 
@@ -490,5 +549,5 @@ let () =
        (Cmd.group info
           [
             experiments_cmd; study_cmd; walkrefs_cmd; simulate_cmd; churn_cmd; metrics_cmd;
-            profile_cmd; top_cmd; faults_cmd; bench_diff_cmd;
+            profile_cmd; top_cmd; timeline_cmd; critical_path_cmd; faults_cmd; bench_diff_cmd;
           ]))

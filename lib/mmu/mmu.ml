@@ -139,24 +139,36 @@ let flush_tlbs t =
 let ipi_round t f =
   let src = local t in
   let faults = Sim.Trace.faults t.trace in
+  let causal = Sim.Trace.causal t.trace in
   for r = 0 to Smp.cores t.smp - 1 do
     if r <> t.core && t.cpumask land (1 lsl r) <> 0 then begin
       let dst = Smp.core t.smp r in
       let start = Sim.Clock.now t.clock in
+      let send = Sim.Causal.emit causal ~core:t.core ~op:"ipi_send" () in
       Sim.Clock.charge t.clock (model t).Sim.Cost_model.ipi;
       src.Smp.ipi_sent <- src.Smp.ipi_sent + 1;
       dst.Smp.ipi_received <- dst.Smp.ipi_received + 1;
       Sim.Stats.incr t.stats "ipi_sent";
+      let deliver = Sim.Causal.emit causal ~core:r ~op:"ipi_deliver" () in
+      Sim.Causal.link causal ~src:send ~dst:deliver ~kind:"ipi";
       if Sim.Fault_inject.fires faults ~site:Sim.Fault_inject.site_tlb_ack_lost then begin
+        (* Lost ack: the deliver node stays a dead end — no ack node, no
+           ack edge — so [ipi_acked < ipi_received] is visible from the
+           graph alone. *)
         Sim.Stats.incr t.stats "tlb_ack_lost";
-        Sim.Trace.record t.trace ~op:"ipi" ~start ~outcome:"ack_lost" ()
+        Sim.Trace.record t.trace ~op:"ipi" ~start ~outcome:"ack_lost" ~core:t.core ()
       end
       else begin
         f dst;
         dst.Smp.ipi_acked <- dst.Smp.ipi_acked + 1;
         Sim.Stats.incr t.stats "ipi_acked";
-        Sim.Trace.record t.trace ~op:"ipi" ~start ~outcome:"acked" ()
-      end
+        let ack = Sim.Causal.emit causal ~core:t.core ~op:"ipi_ack" () in
+        Sim.Causal.link causal ~src:deliver ~dst:ack ~kind:"ack";
+        Sim.Trace.record t.trace ~op:"ipi" ~start ~outcome:"acked" ~core:t.core ()
+      end;
+      let cycles = Sim.Clock.now t.clock - start in
+      Sim.Causal.observe_ipi causal ~src:t.core ~dst:r ~cycles;
+      Sim.Causal.attribute causal ~core:t.core ~share:Sim.Causal.Ipi_wait ~cycles
     end
   done
 

@@ -56,7 +56,15 @@ let core t i =
 
 let iter_cores t f = Array.iter f t.cores
 let numa_node_of_core t i = (core t i).numa_node
-let add_busy t i cycles = (core t i).busy_cycles <- (core t i).busy_cycles + cycles
+(* Besides the raw counter, each attribution feeds the causal plane's
+   makespan accounting and a [core<N>_busy] gauge whose clock-sampled
+   series gives per-core utilization over time, not just final totals. *)
+let add_busy t i cycles =
+  let c = core t i in
+  c.busy_cycles <- c.busy_cycles + cycles;
+  Sim.Causal.add_busy (Sim.Trace.causal t.trace) ~core:i ~cycles;
+  Sim.Stats.set_gauge t.stats (Printf.sprintf "core%d_busy" i) c.busy_cycles;
+  Sim.Stats.sample t.stats ~now:(Sim.Clock.now t.clock)
 
 let clear t =
   Array.iter

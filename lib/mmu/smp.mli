@@ -50,7 +50,9 @@ val iter_cores : t -> (core -> unit) -> unit
 val numa_node_of_core : t -> int -> int
 
 val add_busy : t -> int -> int -> unit
-(** [add_busy t core cycles] attributes [cycles] of work to [core]. *)
+(** [add_busy t core cycles] attributes [cycles] of work to [core],
+    feeds the causal plane's makespan accounting, and updates the
+    [core<N>_busy] gauge (clock-sampled into the PR 4 time series). *)
 
 val clear : t -> unit
 (** Host-side reset of every core's TLBs (crash recovery): no cycles, no

@@ -72,8 +72,21 @@ let set_accessor_node t node =
 let charge_access t ~addr ~lines ~write =
   let model = Sim.Clock.model t.clock in
   let pfn = Frame.of_addr addr in
-  let remote = node_of_frame t pfn <> t.accessor_node in
+  let home = node_of_frame t pfn in
+  let remote = home <> t.accessor_node in
   if remote then Sim.Stats.add t.stats "numa_remote_ref" lines;
+  let causal = Sim.Trace.causal t.trace in
+  let req =
+    if remote && Sim.Causal.enabled causal then begin
+      Sim.Causal.record_numa causal ~src_node:t.accessor_node ~dst_node:home ~lines;
+      Sim.Causal.emit causal
+        ~core:(Sim.Trace.current_core t.trace)
+        ~op:"numa_req"
+        ~detail:(Printf.sprintf "node%d" home)
+        ()
+    end
+    else -1
+  in
   let m = model in
   let cost =
     match (region_of_frame t pfn, write, remote) with
@@ -96,7 +109,19 @@ let charge_access t ~addr ~lines ~write =
       Sim.Stats.add t.stats "nvm_write" lines;
       m.Sim.Cost_model.mem_ref_nvm_write_remote
   in
-  Sim.Clock.charge t.clock (lines * cost)
+  Sim.Clock.charge t.clock (lines * cost);
+  if req >= 0 then begin
+    (* The home node's service point lives off-core (core -1): it joins
+       the graph through this edge but never program-order chains. *)
+    let serve =
+      Sim.Causal.emit causal ~core:(-1) ~op:"numa_serve"
+        ~detail:(Printf.sprintf "node%d" home) ()
+    in
+    Sim.Causal.link causal ~src:req ~dst:serve ~kind:"numa";
+    Sim.Causal.attribute causal
+      ~core:(Sim.Trace.current_core t.trace)
+      ~share:Sim.Causal.Numa_remote ~cycles:(lines * cost)
+  end
 
 let lines_covered ~addr ~len =
   if len <= 0 then 0

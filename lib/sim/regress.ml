@@ -195,6 +195,15 @@ let compare_smp acc ~threshold old_doc new_doc =
   | None, None -> ()
   | o, n -> compare_faults_obj acc ~threshold ~section:"smp" (fields o) (fields n)
 
+(* The "causal" section (T1): makespan decomposition, critical-path
+   summary, IPI latency matrices and the hop-count sweeps. Same walk:
+   the "class" strings catch a critical-path complexity downgrade, the
+   "match"/"attributed" booleans catch a gate flipping false. *)
+let compare_causal acc ~threshold old_doc new_doc =
+  match (path old_doc [ "causal" ], path new_doc [ "causal" ]) with
+  | None, None -> ()
+  | o, n -> compare_faults_obj acc ~threshold ~section:"causal" (fields o) (fields n)
+
 (* Wall-clock ops/sec per scenario: direction is inverted (lower = worse)
    and the numbers are real time, hence noisy — drops only count as
    regressions when the caller opts in with [gate]. *)
@@ -262,6 +271,7 @@ let compare_docs ?(threshold_pct = 10.0) ?(gate_throughput = false) ~old_doc ~ne
       compare_complexity acc old_doc new_doc;
       compare_faults acc ~threshold:threshold_pct old_doc new_doc;
       compare_smp acc ~threshold:threshold_pct old_doc new_doc;
+      compare_causal acc ~threshold:threshold_pct old_doc new_doc;
       compare_throughput acc ~threshold:threshold_pct ~gate:gate_throughput old_doc new_doc;
       Ok { threshold_pct; compared = acc.n; deltas = List.rev acc.rows })
 

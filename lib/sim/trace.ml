@@ -2,7 +2,15 @@
    histograms, all in virtual cycles. The [disabled] sentinel lets components
    default a [trace] field to a shared no-op without optional plumbing. *)
 
-type event = { op : string; start : int; finish : int; arg : int; outcome : string }
+type event = {
+  seq : int;
+  op : string;
+  core : int;
+  start : int;
+  finish : int;
+  arg : int;
+  outcome : string;
+}
 
 type t = {
   clock : Clock.t option; (* None = disabled sentinel *)
@@ -11,6 +19,8 @@ type t = {
   latencies : (string, Histogram.t) Hashtbl.t;
   mutable profile : Profile.t; (* cycle-attribution profiler, if attached *)
   mutable faults : Fault_inject.t; (* fault-injection plane, if attached *)
+  mutable causal : Causal.t; (* cross-core causal plane, if attached *)
+  mutable cur_core : int; (* core executing right now, for event stamping *)
 }
 
 let default_capacity = 4096
@@ -24,6 +34,8 @@ let create ~clock ?(capacity = default_capacity) () =
     latencies = Hashtbl.create 32;
     profile = Profile.disabled;
     faults = Fault_inject.disabled;
+    causal = Causal.disabled;
+    cur_core = 0;
   }
 
 let disabled =
@@ -34,6 +46,8 @@ let disabled =
     latencies = Hashtbl.create 1;
     profile = Profile.disabled;
     faults = Fault_inject.disabled;
+    causal = Causal.disabled;
+    cur_core = 0;
   }
 
 let enabled t = t.clock <> None
@@ -45,6 +59,18 @@ let attach_profile t p =
   t.profile <- p
 
 let faults t = t.faults
+let causal t = t.causal
+
+let attach_causal t c =
+  if not (enabled t) then invalid_arg "Trace.attach_causal: disabled trace";
+  t.causal <- c
+
+let current_core t = t.cur_core
+
+(* Guarded so the shared [disabled] sentinel never accumulates state
+   across unrelated components. *)
+let set_core t core = if enabled t then t.cur_core <- core
+
 let capacity t = Array.length t.ring
 let recorded t = t.recorded
 let dropped t = max 0 (t.recorded - Array.length t.ring)
@@ -57,12 +83,14 @@ let latency_for t op =
     Hashtbl.add t.latencies op h;
     h
 
-let record t ~op ~start ?(arg = 0) ?(outcome = "ok") () =
+let record t ~op ~start ?(arg = 0) ?(outcome = "ok") ?core () =
   match t.clock with
   | None -> ()
   | Some clock ->
     let finish = Clock.now clock in
-    t.ring.(t.recorded mod Array.length t.ring) <- Some { op; start; finish; arg; outcome };
+    let core = match core with Some c -> c | None -> t.cur_core in
+    t.ring.(t.recorded mod Array.length t.ring) <-
+      Some { seq = t.recorded; op; core; start; finish; arg; outcome };
     t.recorded <- t.recorded + 1;
     Histogram.observe (latency_for t op) (max 0 (finish - start))
 
@@ -117,7 +145,9 @@ let reset t =
 let event_to_json e =
   Json.Obj
     [
+      ("seq", Json.Int e.seq);
       ("op", Json.String e.op);
+      ("core", Json.Int e.core);
       ("start", Json.Int e.start);
       ("end", Json.Int e.finish);
       ("arg", Json.Int e.arg);
@@ -158,6 +188,32 @@ let to_json ?(events_limit = max_int) t =
       ("ops", Json.Obj (List.map (fun (k, h) -> (k, op_summary k h)) (ops t)));
       ("events", Json.List (List.map event_to_json evs));
     ]
+
+(* Chrome trace-event fragments: each retained event as a complete ("X")
+   slice on its core's track. Ordering is deterministic even for
+   zero-cost ops stamping the same cycle: the monotonic sequence number
+   breaks start-cycle ties. *)
+let chrome_events t =
+  events t
+  |> List.sort (fun a b -> compare (a.start, a.seq) (b.start, b.seq))
+  |> List.map (fun e ->
+         Json.Obj
+           [
+             ("name", Json.String e.op);
+             ("cat", Json.String "trace");
+             ("ph", Json.String "X");
+             ("ts", Json.Int e.start);
+             ("dur", Json.Int (max 0 (e.finish - e.start)));
+             ("pid", Json.Int 1);
+             ("tid", Json.Int (max 0 e.core));
+             ( "args",
+               Json.Obj
+                 [
+                   ("seq", Json.Int e.seq);
+                   ("arg", Json.Int e.arg);
+                   ("outcome", Json.String e.outcome);
+                 ] );
+           ])
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>trace: %d recorded, %d dropped (capacity %d)@," t.recorded (dropped t)

@@ -11,7 +11,9 @@
     enabled. *)
 
 type event = {
+  seq : int;  (** monotonic sequence number: emission order, never reused *)
   op : string;  (** operation name, e.g. "tlb_lookup" *)
+  core : int;  (** core the event was recorded on *)
   start : int;  (** virtual cycle when the op began *)
   finish : int;  (** virtual cycle when the op ended *)
   arg : int;  (** operand size (bytes, pages, refs...); 0 if n/a *)
@@ -51,6 +53,25 @@ val attach_faults : t -> Fault_inject.t -> unit
     trace event (outcome = site name) on each injection. Raises
     [Invalid_argument] on {!disabled}. *)
 
+val causal : t -> Causal.t
+(** The cross-core causal plane attached to this trace —
+    {!Causal.disabled} until {!attach_causal}. Components emit graph
+    nodes/edges and cycle shares through it; with no plane attached
+    every call is a cheap no-op. *)
+
+val attach_causal : t -> Causal.t -> unit
+(** Attach a causal plane so every component sharing this trace starts
+    emitting cross-core edges. Raises [Invalid_argument] on
+    {!disabled}. *)
+
+val current_core : t -> int
+(** The core currently stamped onto recorded events (default 0). *)
+
+val set_core : t -> int -> unit
+(** Set the core stamped onto subsequent events. The kernel brackets
+    each syscall with this; components below it inherit the stamp.
+    No-op on {!disabled} (the sentinel is shared). *)
+
 val enabled : t -> bool
 val capacity : t -> int
 
@@ -60,9 +81,12 @@ val recorded : t -> int
 val dropped : t -> int
 (** Events evicted from the ring by wraparound. *)
 
-val record : t -> op:string -> start:int -> ?arg:int -> ?outcome:string -> unit -> unit
+val record :
+  t -> op:string -> start:int -> ?arg:int -> ?outcome:string -> ?core:int -> unit -> unit
 (** Record one event ending now; latency [now - start] feeds the per-op
-    histogram. No-op on {!disabled}. *)
+    histogram. [core] overrides the {!current_core} stamp (components
+    acting on a remote core's behalf pass it explicitly). No-op on
+    {!disabled}. *)
 
 val span : t -> op:string -> ?arg:int -> ?outcome:('a -> string) -> (unit -> 'a) -> 'a
 (** [span t ~op f] runs [f], charging the clock with whatever [f] itself
@@ -88,5 +112,10 @@ val to_json : ?events_limit:int -> t -> Json.t
     that op) and an [in_ring] count (events still retained by the ring),
     so per-op dropped-event skew is visible: [recorded - in_ring] events
     of that op were evicted by wraparound. *)
+
+val chrome_events : t -> Json.t list
+(** Retained events as Chrome trace-event "X" slices, one track per
+    core, sorted by (start cycle, sequence number) so equal-cycle events
+    export in a deterministic order. *)
 
 val pp : Format.formatter -> t -> unit

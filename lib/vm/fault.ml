@@ -46,11 +46,17 @@ let with_reclaim_retry ctx alloc =
     | None -> None
     | Some r ->
       Sim.Stats.incr (stats ctx) "alloc_retry_reclaim";
+      let trace = Physmem.Phys_mem.trace ctx.mem in
+      let causal = Sim.Trace.causal trace in
+      let core = Sim.Trace.current_core trace in
+      let stall = Sim.Causal.emit causal ~core ~op:"alloc_stall" () in
       let got = Reclaim.scan r ~target_frames:8 in
       if got > 0 then Sim.Stats.add (stats ctx) "alloc_reclaimed_frames" got;
       (* Reclaimed frames land in the zero engine's dirty queue; launder
          enough of them for the retry to see clean memory. *)
       ignore (Physmem.Zero_engine.background_step ctx.zero ~budget_frames:(max 1 got));
+      let wake = Sim.Causal.emit causal ~core ~op:"reclaim_wake" ~detail:(string_of_int got) () in
+      Sim.Causal.link causal ~src:stall ~dst:wake ~kind:"reclaim";
       alloc ())
 
 let oom ctx what =

@@ -58,6 +58,7 @@ type t = {
   mutable next_pid : int;
   userfault : Userfault.t;
   aslr_rng : Sim.Rng.t;
+  mutable busy_depth : int; (* re-entrancy guard for [on_core] *)
 }
 
 let buddy_max_order = 10
@@ -134,6 +135,7 @@ let create ?(config = default_config) () =
     next_pid = 1;
     userfault = Userfault.create ();
     aslr_rng = Sim.Rng.create ~seed:0x51ed;
+    busy_depth = 0;
   }
 
 let config t = t.config
@@ -179,6 +181,37 @@ let charge_syscall t =
   (* Syscall entry doubles as the gauge-sampling heartbeat. *)
   Sim.Stats.sample t.stats ~now:(Sim.Clock.now t.clock)
 
+let causal t = Sim.Trace.causal t.trace
+
+(* Cycle attribution: everything a syscall spends on [proc]'s behalf
+   (translation, fault handling, shootdown IPIs, file work) is billed to
+   the core the process runs on, the trace core stamp is set for the
+   duration, and physical accesses resolve NUMA locality against that
+   core's node. Re-entrant kernel paths (mlock faulting pages in via
+   [access]) bill only at the outermost frame. *)
+let on_core t proc f =
+  if t.busy_depth > 0 then f ()
+  else begin
+    t.busy_depth <- 1;
+    let core = proc.Proc.core in
+    let prev = Sim.Trace.current_core t.trace in
+    Sim.Trace.set_core t.trace core;
+    Phys_mem.set_accessor_node t.mem (Hw.Smp.numa_node_of_core t.smp core);
+    let start = Sim.Clock.now t.clock in
+    let fin () =
+      t.busy_depth <- 0;
+      Sim.Trace.set_core t.trace prev;
+      Hw.Smp.add_busy t.smp core (Sim.Clock.now t.clock - start)
+    in
+    match f () with
+    | v ->
+      fin ();
+      v
+    | exception e ->
+      fin ();
+      raise e
+  end
+
 let alloc_pt_frame t () = Fault.raw_frame_exn ~what:"page-table frame" (fault_ctx t)
 
 let create_process t ?(range_translations = false) () =
@@ -204,6 +237,16 @@ let create_process t ?(range_translations = false) () =
      space's entries in whichever core's TLBs it warms. *)
   let core = Sched.pick t.sched ~affinity:(-1) in
   Hw.Mmu.set_core (Address_space.mmu aspace) core;
+  let c = causal t in
+  let spawn =
+    Sim.Causal.emit c
+      ~core:(Sim.Trace.current_core t.trace)
+      ~op:"spawn"
+      ~detail:(Printf.sprintf "pid%d" pid)
+      ()
+  in
+  let place = Sim.Causal.emit c ~core ~op:"sched_place" ~detail:(Printf.sprintf "pid%d" pid) () in
+  Sim.Causal.link c ~src:spawn ~dst:place ~kind:"sched";
   let p = Proc.create ~pid ~aspace ~core ~affinity:(-1) () in
   Hashtbl.replace t.procs pid p;
   p
@@ -214,10 +257,20 @@ let migrate t proc ~core =
     invalid_arg "Kernel.migrate: core not in affinity mask";
   if core <> proc.Proc.core then begin
     Sim.Profile.span (prof t) "migrate" @@ fun () ->
+    let c = causal t in
+    let detail = Printf.sprintf "pid%d" proc.Proc.pid in
+    let out = Sim.Causal.emit c ~core:proc.Proc.core ~op:"migrate_out" ~detail () in
+    let start = Sim.Clock.now t.clock in
     charge t (model t).Sim.Cost_model.scheduler;
     Sim.Stats.incr t.stats "migration";
     proc.Proc.core <- core;
-    Hw.Mmu.set_core (Address_space.mmu proc.Proc.aspace) core
+    Hw.Mmu.set_core (Address_space.mmu proc.Proc.aspace) core;
+    let in_ = Sim.Causal.emit c ~core ~op:"migrate_in" ~detail () in
+    Sim.Causal.link c ~src:out ~dst:in_ ~kind:"migrate";
+    (* The placement work runs on the destination core. *)
+    let cycles = Sim.Clock.now t.clock - start in
+    Sim.Causal.attribute c ~core ~share:Sim.Causal.Sched ~cycles;
+    Hw.Smp.add_busy t.smp core cycles
   end
 
 let process_count t = Hashtbl.length t.procs
@@ -263,6 +316,7 @@ let teardown_vma t (vma : Vma.t) ~table ~batch =
   | Vma.Anon -> ()
 
 let munmap t proc ~va ~len =
+  on_core t proc @@ fun () ->
   Sim.Profile.span (prof t) "munmap" @@ fun () ->
   charge_syscall t;
   let aspace = proc.Proc.aspace in
@@ -274,6 +328,7 @@ let munmap t proc ~va ~len =
   Hw.Tlb_batch.flush batch
 
 let exit_process t proc =
+  on_core t proc @@ fun () ->
   Sim.Profile.span (prof t) "exit" @@ fun () ->
   charge_syscall t;
   let aspace = proc.Proc.aspace in
@@ -325,6 +380,7 @@ let register_if_anon t proc ~va =
   | _ -> ()
 
 let mmap_anon t proc ~len ~prot ~populate =
+  on_core t proc @@ fun () ->
   Sim.Profile.span (prof t) "mmap" @@ fun () ->
   charge_syscall t;
   if len <= 0 then invalid_arg "Kernel.mmap_anon: empty mapping";
@@ -346,6 +402,7 @@ let mmap_anon t proc ~len ~prot ~populate =
   va
 
 let mmap_file t proc ~fs ~path ~prot ~share ~populate ?len ?(offset = 0) () =
+  on_core t proc @@ fun () ->
   Sim.Profile.span (prof t) "mmap" @@ fun () ->
   charge_syscall t;
   let ino =
@@ -382,6 +439,7 @@ let mmap_file t proc ~fs ~path ~prot ~share ~populate ?len ?(offset = 0) () =
   va
 
 let mprotect t proc ~va ~len ~prot =
+  on_core t proc @@ fun () ->
   Sim.Profile.span (prof t) "mprotect" @@ fun () ->
   charge_syscall t;
   let aspace = proc.Proc.aspace in
@@ -393,12 +451,26 @@ let mprotect t proc ~va ~len ~prot =
 
 let context_switch t ~from_ ~to_ ~asids =
   Sim.Profile.span (prof t) "context_switch" @@ fun () ->
-  ignore from_;
+  let c = causal t in
+  let out =
+    Sim.Causal.emit c ~core:from_.Proc.core ~op:"switch_out"
+      ~detail:(Printf.sprintf "pid%d" from_.Proc.pid) ()
+  in
+  let start = Sim.Clock.now t.clock in
   charge t (model t).Sim.Cost_model.scheduler;
   Sim.Stats.incr t.stats "context_switch";
-  if not asids then Hw.Mmu.flush_tlbs (Address_space.mmu to_.Proc.aspace)
+  if not asids then Hw.Mmu.flush_tlbs (Address_space.mmu to_.Proc.aspace);
+  let in_ =
+    Sim.Causal.emit c ~core:to_.Proc.core ~op:"switch_in"
+      ~detail:(Printf.sprintf "pid%d" to_.Proc.pid) ()
+  in
+  Sim.Causal.link c ~src:out ~dst:in_ ~kind:"sched";
+  let cycles = Sim.Clock.now t.clock - start in
+  Sim.Causal.attribute c ~core:to_.Proc.core ~share:Sim.Causal.Sched ~cycles;
+  Hw.Smp.add_busy t.smp to_.Proc.core cycles
 
 let madvise_dontneed t proc ~va ~len =
+  on_core t proc @@ fun () ->
   Sim.Profile.span (prof t) "madvise" @@ fun () ->
   charge_syscall t;
   let aspace = proc.Proc.aspace in
@@ -495,15 +567,7 @@ and kernel_fault t proc ~va ~write =
   register_if_anon t proc ~va;
   access_inner t proc ~va ~write
 
-(* Cycle attribution: everything the access spent (translation, fault
-   handling, shootdown IPIs it triggered) is billed to the core the
-   process runs on, so per-core busy cycles expose the makespan of an
-   SMP workload even though the virtual timeline is sequential. *)
-let access t proc ~va ~write =
-  let start = Sim.Clock.now t.clock in
-  Phys_mem.set_accessor_node t.mem (Hw.Smp.numa_node_of_core t.smp proc.Proc.core);
-  access_inner t proc ~va ~write;
-  Hw.Smp.add_busy t.smp proc.Proc.core (Sim.Clock.now t.clock - start)
+let access t proc ~va ~write = on_core t proc @@ fun () -> access_inner t proc ~va ~write
 
 let access_range t proc ~va ~len ~write ~stride =
   if stride <= 0 then invalid_arg "Kernel.access_range: bad stride";
@@ -517,6 +581,7 @@ let access_range t proc ~va ~len ~write ~stride =
   !count
 
 let mlock t proc ~va ~len =
+  on_core t proc @@ fun () ->
   Sim.Profile.span (prof t) "mlock" @@ fun () ->
   charge_syscall t;
   let aspace = proc.Proc.aspace in
@@ -537,8 +602,8 @@ let mlock t proc ~va ~len =
   Sim.Stats.add t.stats "mlocked_pages" pages
 
 let read_syscall t proc ~fs ~ino ~off ~len =
+  on_core t proc @@ fun () ->
   Sim.Profile.span (prof t) "read" @@ fun () ->
-  ignore proc;
   charge_syscall t;
   let data = Fs.Memfs.read_file fs ino ~off ~len in
   let n = Bytes.length data in

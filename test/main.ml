@@ -17,6 +17,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("model", Test_model.suite);
       ("smp", Test_smp.suite);
+      ("causal", Test_causal.suite);
       ("faults", Test_faults.suite);
       ("integration", Test_integration.suite);
     ]
