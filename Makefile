@@ -47,6 +47,16 @@ profile:
 	dune exec bin/o1mem_cli.exe -- profile --backend malloc
 	dune exec bin/o1mem_cli.exe -- profile --backend fom
 
+# H1 host-cost attribution: what the HOST pays per simulated op — ranked
+# tables of self host-ns and self allocated words per call-tree path,
+# plus a collapsed-stack file for flamegraph.pl / speedscope (see
+# EXPERIMENTS.md "H1 — what does the host pay?").
+hotspots:
+	dune exec bin/o1mem_cli.exe -- hotspots --backend malloc
+	dune exec bin/o1mem_cli.exe -- hotspots --backend fom
+	dune exec bin/o1mem_cli.exe -- hotspots --backend fom --format collapsed > hotspots.collapsed
+	@echo "wrote hotspots.collapsed ($$(wc -l < hotspots.collapsed) stacks)"
+
 # T1 Chrome timeline for the 4-core migration workload: per-core slices,
 # causal flow arrows, sampled busy counters. Load timeline.json in
 # chrome://tracing or https://ui.perfetto.dev.
@@ -69,4 +79,4 @@ chaos:
 	dune exec bin/o1mem_cli.exe -- faults --seed 2017 --plan each
 	dune exec bin/o1mem_cli.exe -- faults --seed 99 --plan tlb --rounds 32
 
-.PHONY: all test test-verbose bench examples clean check bench-diff throughput profile chaos timeline critical-path
+.PHONY: all test test-verbose bench examples clean check bench-diff throughput profile hotspots chaos timeline critical-path

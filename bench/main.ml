@@ -115,11 +115,13 @@ let run_bechamel () =
 (* --json [--out FILE] [--smoke]: run the deterministic metrics workload
    (plus the complexity sweeps) and write the JSON export to FILE,
    defaulting to BENCH_<date>.json. The default file name depends on the
-   host (today's date), and the appended "throughput" section is real
-   wall-clock ops/sec (--smoke shrinks its workloads); everything else is
-   purely virtual-clock-derived and byte-identical across machines —
-   which is why bench-diff gates on those sections and only reports on
-   throughput. *)
+   host (today's date), and the appended "throughput" (wall-clock ops/sec
+   medians over k trials; --smoke shrinks its workloads) and "host"
+   (Hostprof attribution: ns noisy, allocated words deterministic)
+   sections mix in host measurements; everything else is purely
+   virtual-clock-derived and byte-identical across machines — which is
+   why bench-diff gates on those sections, reports on throughput/host ns,
+   and gates host allocated words only under --gate-host-alloc. *)
 
 let smoke () = Array.exists (( = ) "--smoke") Sys.argv
 
@@ -141,7 +143,11 @@ let run_json () =
     match Experiments.Exp_metrics.run_to_json ~events_limit:256 () with
     | Sim.Json.Obj fields ->
       Sim.Json.Obj
-        (fields @ [ ("throughput", Experiments.Exp_throughput.to_json ~smoke:(smoke ()) ()) ])
+        (fields
+        @ [
+            ("throughput", Experiments.Exp_throughput.to_json ~smoke:(smoke ()) ());
+            ("host", Experiments.Exp_hostprof.to_json ());
+          ])
     | other -> other
   in
   let oc = open_out file in

@@ -392,11 +392,76 @@ let faults_cmd =
   in
   Cmd.v (Cmd.info "faults" ~doc) Term.(const faults $ seed $ plan $ rounds $ explore)
 
+(* ---------------------------- hotspots ----------------------------- *)
+
+(* What the HOST pays to simulate: replay the churn workload with the
+   host-cost plane attached and rank call-tree paths by self host-ns and
+   by self allocated words. The ns numbers are real wall-clock (noisy);
+   the words and call counts are deterministic per binary. *)
+let hotspots_by_of = function
+  | "ns" -> `Ns
+  | "words" -> `Words
+  | other -> failwith ("unknown ranking: " ^ other ^ " (ns|words)")
+
+let hotspots backend ops top_n format by =
+  let _, hp = Experiments.Exp_hostprof.run_churn ~ops (profile_backend_of backend) in
+  let ranked = Sim.Hostprof.top_paths ~k:top_n ~by:(hotspots_by_of by) hp in
+  (match format with
+  | "tree" ->
+    let table title by =
+      Printf.printf "%s\n%-44s %8s %12s %12s %12s %10s\n" title "PATH" "CALLS" "SELF_NS"
+        "SELF_WORDS" "CUM_NS" "NS/VCYCLE";
+      List.iter
+        (fun (path, n) ->
+          Printf.printf "%-44s %8d %12d %12d %12d %10.1f\n" path n.Sim.Hostprof.calls
+            n.Sim.Hostprof.self_ns n.Sim.Hostprof.self_words n.Sim.Hostprof.ns
+            (Sim.Hostprof.ns_per_vcycle ~ns:n.Sim.Hostprof.ns ~vcycles:n.Sim.Hostprof.vcycles))
+        (Sim.Hostprof.top_paths ~k:top_n ~by hp);
+      print_newline ()
+    in
+    table (Printf.sprintf "Top %d paths by self host-ns:" top_n) `Ns;
+    table (Printf.sprintf "Top %d paths by self allocated words:" top_n) `Words;
+    Printf.printf "%d ns total, %.1f%% attributed; %d words allocated, %.1f%% attributed\n"
+      (Sim.Hostprof.total_ns hp)
+      (100.0 *. Sim.Hostprof.attributed_ns_fraction hp)
+      (Sim.Hostprof.total_words hp)
+      (100.0 *. Sim.Hostprof.attributed_words_fraction hp)
+  | "csv" ->
+    Printf.printf "path,calls,self_ns,ns,self_words,words,vcycles,ns_per_vcycle\n";
+    List.iter
+      (fun (path, n) ->
+        Printf.printf "%s,%d,%d,%d,%d,%d,%d,%.3f\n" path n.Sim.Hostprof.calls
+          n.Sim.Hostprof.self_ns n.Sim.Hostprof.ns n.Sim.Hostprof.self_words
+          n.Sim.Hostprof.words n.Sim.Hostprof.vcycles
+          (Sim.Hostprof.ns_per_vcycle ~ns:n.Sim.Hostprof.ns ~vcycles:n.Sim.Hostprof.vcycles))
+      ranked
+  | "collapsed" -> print_string (Sim.Hostprof.to_collapsed ~by:(hotspots_by_of by) hp)
+  | other -> failwith ("unknown format: " ^ other ^ " (tree|csv|collapsed)"))
+
+let hotspots_cmd =
+  let doc =
+    "Replay the churn workload with the host-cost attribution plane attached and print the \
+     hottest call-tree paths by self host-nanoseconds and by self allocated words (what the host \
+     pays per simulated op), as ranked tables, CSV, or collapsed stacks for flamegraph.pl"
+  in
+  let backend = Arg.(value & opt string "fom" & info [ "backend" ] ~doc:"malloc|fom.") in
+  let ops = Arg.(value & opt int 400 & info [ "ops" ] ~doc:"Operations in the trace.") in
+  let top_n = Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"Paths per ranking.") in
+  let format =
+    Arg.(value & opt string "tree" & info [ "format" ] ~docv:"FMT" ~doc:"tree|csv|collapsed.")
+  in
+  let by =
+    Arg.(
+      value & opt string "ns"
+      & info [ "by" ] ~docv:"METRIC" ~doc:"Ranking metric for csv/collapsed output: ns|words.")
+  in
+  Cmd.v (Cmd.info "hotspots" ~doc) Term.(const hotspots $ backend $ ops $ top_n $ format $ by)
+
 (* --------------------------- bench-diff ---------------------------- *)
 
 (* Exit codes: 0 = no regression, 1 = regression or class downgrade,
    2 = documents unreadable or incomparable (schema/provenance). *)
-let bench_diff old_file new_file threshold gate_throughput =
+let bench_diff old_file new_file threshold gate_throughput gate_host_alloc =
   let read f =
     let ic = open_in_bin f in
     Fun.protect
@@ -417,7 +482,10 @@ let bench_diff old_file new_file threshold gate_throughput =
   in
   let old_doc = parse old_file in
   let new_doc = parse new_file in
-  match Sim.Regress.compare_docs ~threshold_pct:threshold ~gate_throughput ~old_doc ~new_doc () with
+  match
+    Sim.Regress.compare_docs ~threshold_pct:threshold ~gate_throughput ~gate_host_alloc ~old_doc
+      ~new_doc ()
+  with
   | Error reason ->
     Printf.eprintf "bench-diff: %s\n" reason;
     exit 2
@@ -445,8 +513,17 @@ let bench_diff_cmd =
             "Fail on wall-clock throughput drops too. Off by default: real-time ops/sec is \
              machine- and load-dependent, so it is reported but never gates.")
   in
+  let gate_host_alloc =
+    Arg.(
+      value & flag
+      & info [ "gate-host-alloc" ]
+          ~doc:
+            "Fail when host allocated-words metrics grow beyond the threshold. Unlike wall-clock \
+             time, GC allocation counts are deterministic for a fixed binary and workload, so \
+             growth is a real code change.")
+  in
   Cmd.v (Cmd.info "bench-diff" ~doc)
-    Term.(const bench_diff $ old_arg $ new_arg $ threshold $ gate_throughput)
+    Term.(const bench_diff $ old_arg $ new_arg $ threshold $ gate_throughput $ gate_host_alloc)
 
 (* ----------------------------- churn ------------------------------- *)
 
@@ -549,5 +626,6 @@ let () =
        (Cmd.group info
           [
             experiments_cmd; study_cmd; walkrefs_cmd; simulate_cmd; churn_cmd; metrics_cmd;
-            profile_cmd; top_cmd; timeline_cmd; critical_path_cmd; faults_cmd; bench_diff_cmd;
+            profile_cmd; top_cmd; hotspots_cmd; timeline_cmd; critical_path_cmd; faults_cmd;
+            bench_diff_cmd;
           ]))

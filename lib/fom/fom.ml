@@ -54,7 +54,7 @@ let charge_syscall t =
   let clock = Os.Kernel.clock t.kernel in
   Sim.Clock.charge clock (Sim.Clock.model clock).Sim.Cost_model.syscall
 
-let prof t = Sim.Trace.profile (trace t)
+let pspan t name f = Sim.Trace.prof_span (trace t) name f
 
 (* Map every extent of [ino] into the process according to [strategy];
    returns the chosen base VA. *)
@@ -71,7 +71,7 @@ let install_mapping t (proc : Os.Proc.t) ~ino ~prot ~strategy =
     let m = Shared_pt.master_for t.shared_pt ~fs:t.fs ~ino ~prot in
     let va = Os.Address_space.alloc_va aspace ~len ~align:(Shared_pt.window_bytes m) in
     let windows =
-      Sim.Profile.span (prof t) "fom_graft" @@ fun () ->
+      pspan t "fom_graft" @@ fun () ->
       let start = now t in
       let windows = Shared_pt.graft t.shared_pt m ~dst:table ~dst_va:va in
       Sim.Trace.record (trace t) ~op:"fom_graft" ~start ~arg:windows ();
@@ -113,7 +113,7 @@ let ensure_temp_dir t =
   if Fs.Memfs.lookup t.fs temp_dir = None then Fs.Memfs.mkdir t.fs temp_dir
 
 let alloc t proc ?name ?persistence ?strategy ?(guard = false) ~len ~prot () =
-  Sim.Profile.span (prof t) "fom_alloc" @@ fun () ->
+  pspan t "fom_alloc" @@ fun () ->
   let start = now t in
   charge_syscall t;
   if len <= 0 then invalid_arg "Fom.alloc: empty allocation";
@@ -151,7 +151,7 @@ let alloc t proc ?name ?persistence ?strategy ?(guard = false) ~len ~prot () =
   region
 
 let map_path t proc ?prot ?strategy path =
-  Sim.Profile.span (prof t) "fom_map" @@ fun () ->
+  pspan t "fom_map" @@ fun () ->
   let start = now t in
   charge_syscall t;
   let strategy = match strategy with Some s -> s | None -> t.default_strategy in
@@ -218,7 +218,7 @@ let remove_mapping ?batch t (proc : Os.Proc.t) region =
   | None -> Hw.Mmu.invalidate_range (Os.Address_space.mmu aspace) ~va:region.va ~len:region.len
 
 let unmap ?batch t (proc : Os.Proc.t) region =
-  Sim.Profile.span (prof t) "fom_unmap" @@ fun () ->
+  pspan t "fom_unmap" @@ fun () ->
   let start = now t in
   charge_syscall t;
   (match Hashtbl.find_opt t.regions (proc.Os.Proc.pid, region.va) with
@@ -241,7 +241,7 @@ let free ?batch t proc region =
   end
 
 let access t (proc : Os.Proc.t) ~va ~write =
-  Sim.Profile.span (prof t) "access" @@ fun () ->
+  pspan t "access" @@ fun () ->
   let aspace = proc.Os.Proc.aspace in
   match Hw.Mmu.access (Os.Address_space.mmu aspace) ~mem:(Os.Kernel.mem t.kernel) ~va ~write with
   | Ok () -> ()
@@ -297,7 +297,7 @@ let protect t proc region ~prot =
   updated
 
 let grow t (proc : Os.Proc.t) region ~new_len =
-  Sim.Profile.span (prof t) "fom_grow" @@ fun () ->
+  pspan t "fom_grow" @@ fun () ->
   let start = now t in
   charge_syscall t;
   if new_len <= region.len then invalid_arg "Fom.grow: new length not larger";

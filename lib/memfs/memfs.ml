@@ -149,7 +149,7 @@ let mkdir t path =
   Hashtbl.replace entries name ino
 
 let create_file t path ~persistence =
-  Sim.Profile.span (Sim.Trace.profile (trace t)) "fs_create" @@ fun () ->
+  Sim.Trace.prof_span (trace t) "fs_create" @@ fun () ->
   let start = Sim.Clock.now (clock t) in
   charge_lookup t;
   let dir_segs, name = Fs_path.dirname_basename path in
@@ -287,7 +287,7 @@ let allocate_extents t pages =
 
 let extend t ino ~bytes_wanted =
   if bytes_wanted < 0 then invalid_arg "Memfs.extend: negative size";
-  Sim.Profile.span (Sim.Trace.profile (trace t)) "fs_extend" @@ fun () ->
+  Sim.Trace.prof_span (trace t) "fs_extend" @@ fun () ->
   let start = Sim.Clock.now (clock t) in
   let node = inode t ino in
   let tree = Inode.extents node in
@@ -346,7 +346,7 @@ let extend t ino ~bytes_wanted =
   Sim.Trace.record (trace t) ~op:"fs_extend" ~start ~arg:bytes_wanted ()
 
 let truncate t ino ~bytes =
-  Sim.Profile.span (Sim.Trace.profile (trace t)) "fs_truncate" @@ fun () ->
+  Sim.Trace.prof_span (trace t) "fs_truncate" @@ fun () ->
   let start = Sim.Clock.now (clock t) in
   let node = inode t ino in
   let tree = Inode.extents node in

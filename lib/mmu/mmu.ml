@@ -137,6 +137,10 @@ let flush_tlbs t =
    keeps its stale entries, which only [Os.Check] can catch. The send is
    charged whether or not the ack comes back. *)
 let ipi_round t f =
+  (* Skip (and don't open a span) when no *other* core has this address
+     space cached: the loop below would do nothing. *)
+  if t.cpumask land lnot (1 lsl t.core) <> 0 then
+  Sim.Trace.prof_span t.trace "ipi_round" @@ fun () ->
   let src = local t in
   let faults = Sim.Trace.faults t.trace in
   let causal = Sim.Trace.causal t.trace in

@@ -54,7 +54,7 @@ let shootdowns t = t.shootdowns
 let flushes t = t.flushes
 
 let model t = Sim.Clock.model t.clock
-let prof t = Sim.Trace.profile t.trace
+let pspan t name f = Sim.Trace.prof_span t.trace name f
 
 (* Occupancy gauge: per-core TLBs share the machine Stats, so the
    gauge is maintained with deltas and reads as aggregate live entries. *)
@@ -86,7 +86,7 @@ let find_slot t ~asid va size =
   !found
 
 let lookup t ?(asid = 0) ~va () =
-  Sim.Profile.span (prof t) "tlb_lookup" @@ fun () ->
+  pspan t "tlb_lookup" @@ fun () ->
   let start = Sim.Clock.now t.clock in
   Sim.Clock.charge t.clock (model t).Sim.Cost_model.tlb_hit;
   let found = ref None in
@@ -143,7 +143,7 @@ let count_shootdown t n =
   t.shootdowns <- t.shootdowns + n
 
 let invalidate_page t ?(asid = 0) ~va () =
-  Sim.Profile.span (prof t) "tlb_shootdown" @@ fun () ->
+  pspan t "tlb_shootdown" @@ fun () ->
   let start = Sim.Clock.now t.clock in
   Sim.Clock.charge t.clock (Sim.Cost_model.shootdown_cost (model t));
   count_shootdown t 1;
@@ -176,7 +176,7 @@ let clear t =
   Array.iter (fun set -> Array.iter (fun s -> s.valid <- false) set) t.data
 
 let flush t =
-  Sim.Profile.span (prof t) "tlb_flush" @@ fun () ->
+  pspan t "tlb_flush" @@ fun () ->
   let start = Sim.Clock.now t.clock in
   let had = entry_count t in
   Sim.Clock.charge t.clock (Sim.Cost_model.shootdown_cost (model t));
@@ -193,7 +193,7 @@ let invalidate_range t ?(asid = 0) ~va ~len () =
   let pages = Sim.Units.pages_of_bytes len in
   if pages >= full_flush_threshold_pages then flush t
   else begin
-    Sim.Profile.span (prof t) "tlb_shootdown" @@ fun () ->
+    pspan t "tlb_shootdown" @@ fun () ->
     let start = Sim.Clock.now t.clock in
     (* One INVLPG per page in the range, resident or not — same cost and
        stat accounting as [invalidate_page], applied n times. *)

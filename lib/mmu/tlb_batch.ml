@@ -16,7 +16,7 @@ let pages t = t.pages
 
 let flush t =
   if t.pages > 0 then begin
-    Sim.Profile.span (Sim.Trace.profile (Mmu.trace t.mmu)) "tlb_batch" @@ fun () ->
+    Sim.Trace.prof_span (Mmu.trace t.mmu) "tlb_batch" @@ fun () ->
     let clock = Mmu.clock t.mmu in
     let start = Sim.Clock.now clock in
     let full = t.pages >= Tlb.full_flush_threshold_pages in

@@ -13,7 +13,7 @@ let refs_for_walk ~guest_levels ~leaf_depth ~mode =
     ((g + 1) * (h + 1)) - 1
 
 let walk ?(trace = Sim.Trace.disabled) ~clock ~stats ~table ~mode ~va () =
-  Sim.Profile.span (Sim.Trace.profile trace) "page_walk" @@ fun () ->
+  Sim.Trace.prof_span trace "page_walk" @@ fun () ->
   let start = Sim.Clock.now clock in
   let leaf_depth =
     match Page_table.leaf_depth table ~va with

@@ -8,12 +8,12 @@ let create mem = { mem; dirty = Queue.create (); zeroed = Queue.create () }
 let put_dirty t frames = List.iter (fun f -> Queue.add f t.dirty) frames
 let take_zeroed t = Queue.take_opt t.zeroed
 
-let prof t = Sim.Trace.profile (Phys_mem.trace t.mem)
+let pspan t name f = Sim.Trace.prof_span (Phys_mem.trace t.mem) name f
 
-let eager_zero t pfn = Sim.Profile.span (prof t) "zeroing" @@ fun () -> Phys_mem.zero_frame t.mem pfn
+let eager_zero t pfn = pspan t "zeroing" @@ fun () -> Phys_mem.zero_frame t.mem pfn
 
 let background_step t ~budget_frames =
-  Sim.Profile.span (prof t) "background_zero" @@ fun () ->
+  pspan t "background_zero" @@ fun () ->
   let rec loop n =
     if n >= budget_frames then n
     else

@@ -1,0 +1,371 @@
+(* Host-side cost attribution: what the *host* pays to run the simulator.
+
+   Every profiled span records, in addition to whatever Sim.Profile
+   attributes on the virtual clock, a monotonic host-nanosecond delta and
+   a GC allocated-words delta (minor + major - promoted, via
+   Gc.counters), aggregated into the same call-tree paths as Profile.
+   Nothing here ever touches the virtual clock, so attaching a Hostprof
+   costs zero simulated cycles — test-asserted, like Profile and Causal.
+
+   The time source is injected ([now_ns]) rather than read from Unix:
+   the sim library stays dependency-free, tests can drive a fake clock,
+   and callers pick the best monotonic source they have (the bench layer
+   uses bechamel's clock_gettime stub). Host-ns deltas are clamped to be
+   non-negative, so a stepping wall clock can never produce negative
+   attribution; allocated-words deltas are deterministic for a fixed
+   binary and workload, which is what makes them gateable where raw
+   nanoseconds are not. *)
+
+type node = {
+  name : string;
+  calls : int;
+  ns : int;  (* cumulative host nanoseconds *)
+  self_ns : int;
+  words : int;  (* cumulative allocated words *)
+  self_words : int;
+  vcycles : int;  (* cumulative virtual cycles spent under this path *)
+  children : node list;
+}
+
+(* Mutable call-tree node; one per distinct path, children keyed by name. *)
+type inode = {
+  iname : string;
+  mutable calls : int;
+  mutable ns : int;
+  mutable words : int;
+  mutable vcycles : int;
+  mutable child_ns : int;
+  mutable child_words : int;
+  children : (string, inode) Hashtbl.t;
+}
+
+(* One measurement point: host time, allocation counter, virtual clock. *)
+type point = { p_ns : int; p_words : float; p_vcycles : int }
+
+type self_sample = {
+  at_ns : int;  (* host ns since create/reset *)
+  heap_words : int;
+  top_heap_words : int;
+  minor_collections : int;
+  major_collections : int;
+  rss_kb : int;
+}
+
+type t = {
+  now_ns : (unit -> int) option; (* None = disabled sentinel *)
+  vclock : Clock.t option;
+  read_rss_kb : (unit -> int) option;
+  roots : (string, inode) Hashtbl.t;
+  mutable stack : (inode * point) list; (* innermost first *)
+  mutable started : point;
+  mutable started_gc : float * float * float; (* Gc.counters at create/reset *)
+  self : self_sample Queue.t;
+  mutable self_recorded : int;
+}
+
+let self_capacity = 1024
+
+let allocated_words () =
+  let minor, promoted, major = Gc.counters () in
+  minor +. major -. promoted
+
+let point_of t =
+  match t.now_ns with
+  | None -> { p_ns = 0; p_words = 0.0; p_vcycles = 0 }
+  | Some now ->
+    {
+      p_ns = now ();
+      p_words = allocated_words ();
+      p_vcycles = (match t.vclock with Some c -> Clock.now c | None -> 0);
+    }
+
+let create ~now_ns ?vclock ?rss_kb () =
+  let t =
+    {
+      now_ns = Some now_ns;
+      vclock;
+      read_rss_kb = rss_kb;
+      roots = Hashtbl.create 16;
+      stack = [];
+      started = { p_ns = 0; p_words = 0.0; p_vcycles = 0 };
+      started_gc = Gc.counters ();
+      self = Queue.create ();
+      self_recorded = 0;
+    }
+  in
+  t.started <- point_of t;
+  t
+
+let disabled =
+  {
+    now_ns = None;
+    vclock = None;
+    read_rss_kb = None;
+    roots = Hashtbl.create 1;
+    stack = [];
+    started = { p_ns = 0; p_words = 0.0; p_vcycles = 0 };
+    started_gc = (0.0, 0.0, 0.0);
+    self = Queue.create ();
+    self_recorded = 0;
+  }
+
+let enabled t = t.now_ns <> None
+let depth t = List.length t.stack
+
+let reset t =
+  Hashtbl.reset t.roots;
+  t.stack <- [];
+  Queue.clear t.self;
+  t.self_recorded <- 0;
+  if enabled t then t.started_gc <- Gc.counters ();
+  t.started <- point_of t
+
+let child_of t name =
+  let tbl = match t.stack with (n, _) :: _ -> n.children | [] -> t.roots in
+  match Hashtbl.find_opt tbl name with
+  | Some n -> n
+  | None ->
+    let n =
+      {
+        iname = name;
+        calls = 0;
+        ns = 0;
+        words = 0;
+        vcycles = 0;
+        child_ns = 0;
+        child_words = 0;
+        children = Hashtbl.create 4;
+      }
+    in
+    Hashtbl.add tbl name n;
+    n
+
+let span t name f =
+  match t.now_ns with
+  | None -> f ()
+  | Some _ ->
+    let node = child_of t name in
+    let p0 = point_of t in
+    t.stack <- (node, p0) :: t.stack;
+    let pop () =
+      match t.stack with
+      | (n, s) :: rest ->
+        t.stack <- rest;
+        let p1 = point_of t in
+        (* Clamp: a non-monotonic host clock must never attribute
+           negative time. Allocation counters only grow, but clamp them
+           too so a float rounding artifact cannot go negative. *)
+        let d_ns = max 0 (p1.p_ns - s.p_ns) in
+        let d_words = max 0 (int_of_float (p1.p_words -. s.p_words)) in
+        let d_vcycles = max 0 (p1.p_vcycles - s.p_vcycles) in
+        n.calls <- n.calls + 1;
+        n.ns <- n.ns + d_ns;
+        n.words <- n.words + d_words;
+        n.vcycles <- n.vcycles + d_vcycles;
+        (match rest with
+        | (parent, _) :: _ ->
+          parent.child_ns <- parent.child_ns + d_ns;
+          parent.child_words <- parent.child_words + d_words
+        | [] -> ())
+      | [] -> assert false
+    in
+    (match f () with
+    | v ->
+      pop ();
+      v
+    | exception e ->
+      (* Exception-safe, like Profile.span: the frame is popped (and its
+         host cost up to the raise attributed) before the exception
+         continues outward. *)
+      pop ();
+      raise e)
+
+(* ---------------------------- self-gauges ---------------------------- *)
+
+(* Sampled simulator self-state: OCaml heap occupancy, GC activity, and
+   (when a reader was injected) resident set size. Callers sample at
+   workload top-of-loop; the ring is bounded like every other series. *)
+let sample_self t =
+  match t.now_ns with
+  | None -> ()
+  | Some now ->
+    let q = Gc.quick_stat () in
+    Queue.push
+      {
+        at_ns = max 0 (now () - t.started.p_ns);
+        heap_words = q.Gc.heap_words;
+        top_heap_words = q.Gc.top_heap_words;
+        minor_collections = q.Gc.minor_collections;
+        major_collections = q.Gc.major_collections;
+        rss_kb = (match t.read_rss_kb with Some f -> f () | None -> 0);
+      }
+      t.self;
+    if Queue.length t.self > self_capacity then ignore (Queue.pop t.self);
+    t.self_recorded <- t.self_recorded + 1
+
+let self_samples t = List.of_seq (Queue.to_seq t.self)
+let self_recorded t = t.self_recorded
+
+(* ------------------------------ snapshot ------------------------------ *)
+
+let rec snapshot (n : inode) =
+  let children =
+    Hashtbl.fold (fun _ c acc -> snapshot c :: acc) n.children []
+    |> List.sort (fun a b -> String.compare a.name b.name)
+  in
+  {
+    name = n.iname;
+    calls = n.calls;
+    ns = n.ns;
+    self_ns = max 0 (n.ns - n.child_ns);
+    words = n.words;
+    self_words = max 0 (n.words - n.child_words);
+    vcycles = n.vcycles;
+    children;
+  }
+
+let tree t =
+  Hashtbl.fold (fun _ n acc -> snapshot n :: acc) t.roots []
+  |> List.sort (fun a b -> String.compare a.name b.name)
+
+let total_ns t =
+  match t.now_ns with None -> 0 | Some now -> max 0 (now () - t.started.p_ns)
+
+let total_words t =
+  match t.now_ns with
+  | None -> 0
+  | Some _ -> max 0 (int_of_float (allocated_words () -. t.started.p_words))
+
+let total_vcycles t =
+  match t.vclock with None -> 0 | Some c -> max 0 (Clock.now c - t.started.p_vcycles)
+
+let attributed_ns t = Hashtbl.fold (fun _ n acc -> acc + n.ns) t.roots 0
+let attributed_words t = Hashtbl.fold (fun _ n acc -> acc + n.words) t.roots 0
+
+let fraction ~part ~total = if total = 0 then 1.0 else float_of_int part /. float_of_int total
+let attributed_ns_fraction t = fraction ~part:(attributed_ns t) ~total:(total_ns t)
+let attributed_words_fraction t = fraction ~part:(attributed_words t) ~total:(total_words t)
+
+let flatten t =
+  let out = ref [] in
+  let rec go prefix n =
+    let path = if prefix = "" then n.name else prefix ^ ";" ^ n.name in
+    out := (path, n) :: !out;
+    List.iter (go path) n.children
+  in
+  List.iter (go "") (tree t);
+  List.rev !out
+
+let metric ~by (n : node) = match by with `Ns -> n.self_ns | `Words -> n.self_words
+
+let top_paths ?(k = 10) ~by t =
+  flatten t
+  |> List.sort (fun (pa, a) (pb, b) ->
+         let ma = metric ~by a and mb = metric ~by b in
+         if ma <> mb then compare mb ma else String.compare pa pb)
+  |> List.filteri (fun i _ -> i < k)
+
+(* ------------------------------ exporters ----------------------------- *)
+
+(* Word counters are deltas since create/reset (workload-scoped); heap
+   occupancy and collection counts are current process state. *)
+let gc_to_json t =
+  let q = Gc.quick_stat () in
+  let minor, promoted, major = Gc.counters () in
+  let minor0, promoted0, major0 = t.started_gc in
+  let d now started = max 0 (int_of_float (now -. started)) in
+  Json.Obj
+    [
+      ("allocated_words", Json.Int (total_words t));
+      ("minor_words", Json.Int (d minor minor0));
+      ("promoted_words", Json.Int (d promoted promoted0));
+      ("major_words", Json.Int (d major major0));
+      ("minor_collections", Json.Int q.Gc.minor_collections);
+      ("major_collections", Json.Int q.Gc.major_collections);
+      ("heap_words", Json.Int q.Gc.heap_words);
+      ("top_heap_words", Json.Int q.Gc.top_heap_words);
+      ("compactions", Json.Int q.Gc.compactions);
+    ]
+
+let self_to_json t =
+  let samples = self_samples t in
+  let max_of f = List.fold_left (fun acc s -> max acc (f s)) 0 samples in
+  let last f = match List.rev samples with s :: _ -> f s | [] -> 0 in
+  Json.Obj
+    [
+      ("samples", Json.Int (self_recorded t));
+      ("heap_words_max", Json.Int (max_of (fun s -> s.heap_words)));
+      ("top_heap_words", Json.Int (last (fun s -> s.top_heap_words)));
+      ("rss_kb_max", Json.Int (max_of (fun s -> s.rss_kb)));
+      ("minor_collections", Json.Int (last (fun s -> s.minor_collections)));
+      ("major_collections", Json.Int (last (fun s -> s.major_collections)));
+    ]
+
+let rec node_to_json (n : node) =
+  Json.Obj
+    ([
+       ("calls", Json.Int n.calls);
+       ("ns", Json.Int n.ns);
+       ("self_ns", Json.Int n.self_ns);
+       ("words", Json.Int n.words);
+       ("self_words", Json.Int n.self_words);
+       ("vcycles", Json.Int n.vcycles);
+     ]
+    @
+    if n.children = [] then []
+    else [ ("children", Json.Obj (List.map (fun c -> (c.name, node_to_json c)) n.children)) ])
+
+let to_json t =
+  Json.Obj
+    [
+      ("enabled", Json.Bool (enabled t));
+      ("total_ns", Json.Int (total_ns t));
+      ("attributed_ns", Json.Int (attributed_ns t));
+      ("attributed_ns_fraction", Json.Float (attributed_ns_fraction t));
+      ("total_words", Json.Int (total_words t));
+      ("attributed_words", Json.Int (attributed_words t));
+      ("attributed_words_fraction", Json.Float (attributed_words_fraction t));
+      ("total_vcycles", Json.Int (total_vcycles t));
+      ("gc", gc_to_json t);
+      ("self", self_to_json t);
+      ("tree", Json.Obj (List.map (fun n -> (n.name, node_to_json n)) (tree t)));
+    ]
+
+(* Collapsed stacks for flamegraph.pl / speedscope: one "a;b;c value"
+   line per path with a non-zero self value — host nanoseconds or
+   allocated words, caller's choice — plus the unattributed remainder as
+   its own explicit root. *)
+let to_collapsed ?(by = `Ns) t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (path, n) ->
+      let v = metric ~by n in
+      if v > 0 then Buffer.add_string buf (Printf.sprintf "%s %d\n" path v))
+    (flatten t);
+  let rest =
+    match by with
+    | `Ns -> max 0 (total_ns t - attributed_ns t)
+    | `Words -> max 0 (total_words t - attributed_words t)
+  in
+  if rest > 0 then Buffer.add_string buf (Printf.sprintf "(unattributed) %d\n" rest);
+  Buffer.contents buf
+
+let ns_per_vcycle ~ns ~vcycles =
+  if vcycles <= 0 then 0.0 else float_of_int ns /. float_of_int vcycles
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>hostprof: %d ns total (%.1f%% attributed), %d words allocated (%.1f%% attributed)@,"
+    (total_ns t)
+    (100.0 *. attributed_ns_fraction t)
+    (total_words t)
+    (100.0 *. attributed_words_fraction t);
+  let rec go indent (n : node) =
+    Format.fprintf ppf "%s%-*s calls=%-8d self_ns=%-12d self_words=%-10d ns/vcycle=%.1f@," indent
+      (max 1 (28 - String.length indent))
+      n.name n.calls n.self_ns n.self_words
+      (ns_per_vcycle ~ns:n.ns ~vcycles:n.vcycles);
+    List.iter (go (indent ^ "  ")) n.children
+  in
+  List.iter (go "") (tree t);
+  Format.fprintf ppf "@]"

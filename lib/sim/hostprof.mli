@@ -1,0 +1,117 @@
+(** Host-side cost attribution: what the host pays to run the simulator.
+
+    A [Hostprof.t] mirrors {!Profile}'s nested-span call tree, but the
+    metrics are host-side: monotonic host nanoseconds and GC
+    allocated-words deltas ([Gc.counters]: minor + major - promoted) per
+    span, plus the virtual cycles spent under each path so readers get a
+    host-ns-per-simulated-cycle ratio. It never reads or charges the
+    virtual clock, so attaching one costs zero simulated cycles
+    (test-asserted, like Profile and Causal).
+
+    The host time source is injected at {!create}: the sim library stays
+    dependency-free, tests drive deterministic fake clocks, and the bench
+    layer passes a real monotonic clock. Nanosecond deltas are clamped
+    non-negative; allocated-words deltas are deterministic for a fixed
+    binary and workload — which is why bench-diff can gate on words but
+    only report nanoseconds.
+
+    Components reach a hostprof through {!Trace.prof_span}; the
+    {!disabled} sentinel makes every operation a no-op. *)
+
+type node = {
+  name : string;
+  calls : int;
+  ns : int;  (** cumulative host nanoseconds under this path *)
+  self_ns : int;  (** [ns] minus children's — time spent in this span itself *)
+  words : int;  (** cumulative allocated words under this path *)
+  self_words : int;
+  vcycles : int;  (** cumulative virtual cycles under this path *)
+  children : node list;  (** sorted by name *)
+}
+
+type self_sample = {
+  at_ns : int;  (** host ns since create/reset *)
+  heap_words : int;
+  top_heap_words : int;
+  minor_collections : int;
+  major_collections : int;
+  rss_kb : int;  (** 0 unless an RSS reader was injected *)
+}
+
+type t
+
+val create : now_ns:(unit -> int) -> ?vclock:Clock.t -> ?rss_kb:(unit -> int) -> unit -> t
+(** A live host profiler reading host time from [now_ns] (monotonic
+    nanoseconds preferred; non-monotonic sources are safe but lose
+    precision to clamping). [vclock] enables per-path virtual-cycle
+    accumulation (the ns-per-cycle denominator); [rss_kb] supplies
+    resident-set readings for {!sample_self}. *)
+
+val disabled : t
+(** Shared no-op sentinel: {!span} just runs its function. *)
+
+val enabled : t -> bool
+val depth : t -> int
+val reset : t -> unit
+
+val span : t -> string -> (unit -> 'a) -> 'a
+(** [span t name f] runs [f], attributing its host-ns, allocated-words
+    and virtual-cycle deltas to the call-tree path named by the current
+    nesting. Exception-safe: a raise pops the frame (attributing cost up
+    to the raise) before continuing outward. On {!disabled}, just [f ()].
+
+    Bookkeeping itself allocates a small constant number of words per
+    call (measurement points and stack frames), attributed to the
+    enclosing span — visible, deterministic, and discountable via the
+    exported call counts. *)
+
+val sample_self : t -> unit
+(** Record one simulator self-gauge sample (OCaml heap words, GC
+    collection counts, RSS if a reader was injected) into a bounded
+    series. Callers sample at workload top-of-loop. No-op on
+    {!disabled}. *)
+
+val self_samples : t -> self_sample list
+(** Retained self-gauge samples, oldest first (bounded; oldest dropped). *)
+
+val self_recorded : t -> int
+
+val tree : t -> node list
+(** Call-tree roots, sorted by name. *)
+
+val flatten : t -> (string * node) list
+(** Depth-first paths ["a;b;c"] with their nodes, DFS order. *)
+
+val top_paths : ?k:int -> by:[ `Ns | `Words ] -> t -> (string * node) list
+(** The [k] (default 10) hottest paths by self host-ns or self allocated
+    words; ties break by path name for determinism. *)
+
+val total_ns : t -> int
+(** Host ns elapsed since create/reset. *)
+
+val total_words : t -> int
+(** Words allocated since create/reset. *)
+
+val total_vcycles : t -> int
+val attributed_ns : t -> int
+val attributed_words : t -> int
+
+val attributed_ns_fraction : t -> float
+(** [attributed_ns / total_ns]; 1.0 when nothing was measured. *)
+
+val attributed_words_fraction : t -> float
+
+val ns_per_vcycle : ns:int -> vcycles:int -> float
+(** Host nanoseconds per simulated cycle; 0.0 when no cycles elapsed. *)
+
+val to_json : t -> Json.t
+(** Attribution summary, GC block (scoped word deltas + current heap
+    state), self-gauge summary, and the full call tree. Word counts,
+    call counts and vcycles are deterministic; ns values are not. *)
+
+val to_collapsed : ?by:[ `Ns | `Words ] -> t -> string
+(** Collapsed stacks ("path;to;span value" lines, default self-ns) for
+    flamegraph.pl / speedscope; the unattributed remainder is an explicit
+    ["(unattributed)"] root. *)
+
+val pp : Format.formatter -> t -> unit

@@ -23,6 +23,31 @@ type delta = {
 
 type report = { threshold_pct : float; compared : int; deltas : delta list }
 
+(* --------------------------- order stats ----------------------------- *)
+
+(* Shared by the k-trial throughput harness (producing medians/IQRs) and
+   the noise-floor gate below (consuming them): linear-interpolation
+   quantiles over a small sample. *)
+let quantile xs q =
+  match List.sort Float.compare xs with
+  | [] -> invalid_arg "Regress.quantile: empty sample"
+  | sorted ->
+    let a = Array.of_list sorted in
+    let n = Array.length a in
+    if n = 1 then a.(0)
+    else begin
+      let pos = q *. float_of_int (n - 1) in
+      let lo = min (int_of_float pos) (n - 2) in
+      let frac = pos -. float_of_int lo in
+      a.(lo) +. (frac *. (a.(lo + 1) -. a.(lo)))
+    end
+
+let median xs = quantile xs 0.5
+
+let quartiles xs =
+  let q1 = quantile xs 0.25 and q2 = quantile xs 0.5 and q3 = quantile xs 0.75 in
+  (q1, q2, q3)
+
 (* ---------------------------- JSON access ---------------------------- *)
 
 let number = function
@@ -206,47 +231,143 @@ let compare_causal acc ~threshold old_doc new_doc =
 
 (* Wall-clock ops/sec per scenario: direction is inverted (lower = worse)
    and the numbers are real time, hence noisy — drops only count as
-   regressions when the caller opts in with [gate]. *)
+   regressions when the caller opts in with [gate].
+
+   k-trial documents carry median + IQR per scenario; the IQR is a
+   measured noise floor, so the effective threshold for a scenario is
+   max(threshold, 2 * worst IQR/median ratio of the two runs): a delta
+   smaller than twice the observed run-to-run spread is indistinguishable
+   from noise and never flagged. Legacy single-run documents (a bare
+   "ops_per_sec") fall back to the flat threshold. *)
 let compare_throughput acc ~threshold ~gate old_doc new_doc =
   let old_scen = fields (path old_doc [ "throughput" ]) in
   let new_scen = fields (path new_doc [ "throughput" ]) in
+  let num d k = Option.bind (Json.member d k) number in
+  let rate acc ~key ~eff fo fn =
+    acc.n <- acc.n + 1;
+    if fo <> fn then begin
+      let pct =
+        if fo = 0.0 then Float.infinity *. Float.of_int (Stdlib.compare fn fo)
+        else (fn -. fo) /. fo *. 100.0
+      in
+      let status =
+        if Float.abs pct <= eff then Within
+        else if fn < fo then if gate then Regressed else Within
+        else Improved
+      in
+      emit acc
+        {
+          section = "throughput";
+          key;
+          old_v = show_number fo;
+          new_v = show_number fn;
+          pct = Some pct;
+          status;
+        }
+    end
+  in
   List.iter
     (fun scen ->
       match (List.assoc_opt scen old_scen, List.assoc_opt scen new_scen) with
       | Some o, Some n -> (
-        match
-          ( Option.bind (Json.member o "ops_per_sec") number,
-            Option.bind (Json.member n "ops_per_sec") number )
-        with
+        match (num o "median_ops_per_sec", num n "median_ops_per_sec") with
         | Some fo, Some fn ->
-          acc.n <- acc.n + 1;
-          if fo <> fn then begin
-            let pct =
-              if fo = 0.0 then Float.infinity *. Float.of_int (Stdlib.compare fn fo)
-              else (fn -. fo) /. fo *. 100.0
-            in
-            let status =
-              if Float.abs pct <= threshold then Within
-              else if fn < fo then if gate then Regressed else Within
-              else Improved
-            in
-            emit acc
-              {
-                section = "throughput";
-                key = scen ^ " ops/sec";
-                old_v = show_number fo;
-                new_v = show_number fn;
-                pct = Some pct;
-                status;
-              }
-          end
-        | _ -> ())
+          let spread d m =
+            match num d "iqr_ops_per_sec" with
+            | Some iqr when m > 0.0 -> iqr /. m
+            | _ -> 0.0
+          in
+          let noise_pct = 100.0 *. Float.max (spread o fo) (spread n fn) in
+          let eff = Float.max threshold (2.0 *. noise_pct) in
+          rate acc ~key:(scen ^ " median ops/sec") ~eff fo fn
+        | _ -> (
+          match (num o "ops_per_sec", num n "ops_per_sec") with
+          | Some fo, Some fn -> rate acc ~key:(scen ^ " ops/sec") ~eff:threshold fo fn
+          | _ -> ()))
       | Some o, None -> one_sided acc ~section:"throughput" ~key:scen ~status:Removed o
       | None, Some n -> one_sided acc ~section:"throughput" ~key:scen ~status:Added n
       | None, None -> ())
     (union_keys old_scen new_scen)
 
-let compare_docs ?(threshold_pct = 10.0) ?(gate_throughput = false) ~old_doc ~new_doc () =
+(* The "host" section (H1): Hostprof attribution per churn backend. Two
+   very different metric families live here. Host nanoseconds are machine
+   noise: the summary total_ns/attributed_ns are reported (status Within,
+   never gated) and per-path ns keys are not walked at all — they differ
+   on every run and would flood the table. Allocated words, call counts
+   and virtual cycles are deterministic for a fixed binary, so a delta is
+   a real code change: reported by default, and the words family becomes
+   a gate under [gate_alloc] (more allocation per op = the simulator got
+   more expensive to host). Heap-state gauges ("self", heap/collection
+   counts) depend on GC timing relative to export, so they are skipped. *)
+let compare_host acc ~threshold ~gate_alloc old_doc new_doc =
+  let words_key k =
+    match k with
+    | "words" | "self_words" | "total_words" | "attributed_words" | "allocated_words"
+    | "minor_words" | "promoted_words" | "major_words" ->
+      true
+    | _ -> false
+  in
+  let deterministic k =
+    words_key k || k = "calls" || k = "vcycles" || k = "total_vcycles" || k = "ops"
+  in
+  let report_ns k = k = "total_ns" || k = "attributed_ns" in
+  let emit_num ~section ~key ~gated fo fn =
+    acc.n <- acc.n + 1;
+    if fo <> fn then begin
+      let pct =
+        if fo = 0.0 then Float.infinity *. Float.of_int (Stdlib.compare fn fo)
+        else (fn -. fo) /. fo *. 100.0
+      in
+      let status =
+        if Float.abs pct <= threshold then Within
+        else if fn > fo then if gated then Regressed else Within
+        else Improved
+      in
+      emit acc
+        { section; key; old_v = show_number fo; new_v = show_number fn; pct = Some pct; status }
+    end
+  in
+  let rec walk ~section old_fields new_fields =
+    List.iter
+      (fun k ->
+        match (List.assoc_opt k old_fields, List.assoc_opt k new_fields) with
+        | Some (Json.Obj o), Some (Json.Obj n) ->
+          if k <> "self" then walk ~section:(section ^ "." ^ k) o n
+        | Some (Json.Bool o), Some (Json.Bool n) ->
+          acc.n <- acc.n + 1;
+          (* "enabled" flipping false means the plane silently detached. *)
+          if o <> n then
+            emit acc
+              {
+                section;
+                key = k;
+                old_v = string_of_bool o;
+                new_v = string_of_bool n;
+                pct = None;
+                status = (if n then Improved else Regressed);
+              }
+        | Some o, Some n -> (
+          match (number o, number n) with
+          | Some fo, Some fn ->
+            if deterministic k then
+              emit_num ~section ~key:k ~gated:(gate_alloc && words_key k) fo fn
+            else if report_ns k then emit_num ~section ~key:k ~gated:false fo fn
+          | _ -> ())
+        | Some o, None ->
+          if deterministic k || (match o with Json.Obj _ -> true | _ -> false) then
+            one_sided acc ~section ~key:k ~status:Removed o
+        | None, Some n ->
+          if deterministic k || (match n with Json.Obj _ -> true | _ -> false) then
+            one_sided acc ~section ~key:k ~status:Added n
+        | None, None -> ())
+      (union_keys old_fields new_fields)
+  in
+  match (path old_doc [ "host" ], path new_doc [ "host" ]) with
+  | None, None -> ()
+  | o, n -> walk ~section:"host" (fields o) (fields n)
+
+let compare_docs ?(threshold_pct = 10.0) ?(gate_throughput = false) ?(gate_host_alloc = false)
+    ~old_doc ~new_doc () =
   let schema d = match Json.member d "schema" with Some (Json.String s) -> Some s | _ -> None in
   match (schema old_doc, schema new_doc) with
   | None, _ | _, None -> Error "missing \"schema\" field: not a metrics document"
@@ -273,6 +394,7 @@ let compare_docs ?(threshold_pct = 10.0) ?(gate_throughput = false) ~old_doc ~ne
       compare_smp acc ~threshold:threshold_pct old_doc new_doc;
       compare_causal acc ~threshold:threshold_pct old_doc new_doc;
       compare_throughput acc ~threshold:threshold_pct ~gate:gate_throughput old_doc new_doc;
+      compare_host acc ~threshold:threshold_pct ~gate_alloc:gate_host_alloc old_doc new_doc;
       Ok { threshold_pct; compared = acc.n; deltas = List.rev acc.rows })
 
 let regressions r =

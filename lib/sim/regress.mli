@@ -11,6 +11,16 @@
     (cost-model parameters, trace capacity) agree — otherwise deltas would
     reflect configuration, not code. *)
 
+val quantile : float list -> float -> float
+(** [quantile xs q] is the linearly-interpolated [q]-quantile (0..1) of
+    the sample. Raises [Invalid_argument] on an empty list. Exposed here
+    because both the throughput harness (producer) and the noise-floor
+    gate (consumer) need the same order statistics. *)
+
+val median : float list -> float
+val quartiles : float list -> float * float * float
+(** [(p25, median, p75)]. *)
+
 type status =
   | Within  (** changed, inside the threshold *)
   | Regressed  (** cost grew beyond the threshold *)
@@ -38,15 +48,23 @@ type report = {
 }
 
 val compare_docs :
-  ?threshold_pct:float -> ?gate_throughput:bool -> old_doc:Json.t -> new_doc:Json.t ->
-  unit -> (report, string) result
+  ?threshold_pct:float -> ?gate_throughput:bool -> ?gate_host_alloc:bool -> old_doc:Json.t ->
+  new_doc:Json.t -> unit -> (report, string) result
 (** [threshold_pct] defaults to 10. [Error reason] when the documents are
     incompatible: unequal schemas, or unequal/missing provenance.
 
     Wall-clock "throughput" scenarios (ops/sec, lower = worse) are
     compared report-only by default — real-time numbers are machine- and
     load-dependent, so a drop is shown but never fails the gate unless
-    [gate_throughput:true]. Complexity-class downgrades always fail. *)
+    [gate_throughput:true]. k-trial documents compare medians against an
+    IQR-derived noise floor: the effective threshold is
+    max(threshold, 2 x worst IQR/median of the two runs), so deltas
+    inside the measured run-to-run spread never flag.
+
+    The "host" section is report-only by default: host nanoseconds are
+    never gated, but allocated-words keys (deterministic for a fixed
+    binary) fail the gate under [gate_host_alloc:true] when they grow
+    beyond the threshold. Complexity-class downgrades always fail. *)
 
 val regressions : report -> delta list
 (** The deltas that fail the gate: [Regressed] and [Downgraded]. *)

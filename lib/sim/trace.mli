@@ -41,6 +41,24 @@ val attach_profile : t -> Profile.t -> unit
     attributing spans. Raises [Invalid_argument] on {!disabled} (the
     sentinel is shared machine-wide). *)
 
+val hostprof : t -> Hostprof.t
+(** The host-side cost-attribution plane attached to this trace —
+    {!Hostprof.disabled} until {!attach_hostprof}. *)
+
+val attach_hostprof : t -> Hostprof.t -> unit
+(** Attach a host profiler so every {!prof_span} additionally records
+    host-nanosecond and GC allocated-words deltas into the same
+    call-tree paths. Never touches the virtual clock. Raises
+    [Invalid_argument] on {!disabled}. *)
+
+val prof_span : t -> string -> (unit -> 'a) -> 'a
+(** [prof_span t name f] runs [f] under both attribution planes: a
+    {!Profile.span} charging nothing virtual, nested inside a
+    {!Hostprof.span} measuring host ns and allocated words. Every
+    instrumented hot path uses this single combinator so the two call
+    trees share their paths. With neither plane attached it just runs
+    [f]. *)
+
 val faults : t -> Fault_inject.t
 (** The fault-injection plane attached to this trace —
     {!Fault_inject.disabled} until {!attach_faults}. Components consult

@@ -202,7 +202,7 @@ let handle ctx ~aspace ~pid ~va ~write =
   let trace = Physmem.Phys_mem.trace ctx.mem in
   let start = Sim.Clock.now (clock ctx) in
   let result =
-    Sim.Profile.span (Sim.Trace.profile trace) "fault" @@ fun () ->
+    Sim.Trace.prof_span trace "fault" @@ fun () ->
     match handle_inner ctx ~aspace ~pid ~va ~write with
     | kind ->
       Sim.Trace.record trace ~op:"fault_handle" ~start

@@ -173,7 +173,7 @@ let charge_boot t = Page_meta.init_range t.meta ~first:0 ~count:(Phys_mem.total_
 
 let charge t c = Sim.Clock.charge t.clock c
 let model t = Sim.Clock.model t.clock
-let prof t = Sim.Trace.profile t.trace
+let pspan t name f = Sim.Trace.prof_span t.trace name f
 
 let charge_syscall t =
   charge t (model t).Sim.Cost_model.syscall;
@@ -256,7 +256,7 @@ let migrate t proc ~core =
   if proc.Proc.affinity land (1 lsl core) = 0 then
     invalid_arg "Kernel.migrate: core not in affinity mask";
   if core <> proc.Proc.core then begin
-    Sim.Profile.span (prof t) "migrate" @@ fun () ->
+    pspan t "migrate" @@ fun () ->
     let c = causal t in
     let detail = Printf.sprintf "pid%d" proc.Proc.pid in
     let out = Sim.Causal.emit c ~core:proc.Proc.core ~op:"migrate_out" ~detail () in
@@ -317,7 +317,7 @@ let teardown_vma t (vma : Vma.t) ~table ~batch =
 
 let munmap t proc ~va ~len =
   on_core t proc @@ fun () ->
-  Sim.Profile.span (prof t) "munmap" @@ fun () ->
+  pspan t "munmap" @@ fun () ->
   charge_syscall t;
   let aspace = proc.Proc.aspace in
   let table = Address_space.page_table aspace in
@@ -329,7 +329,7 @@ let munmap t proc ~va ~len =
 
 let exit_process t proc =
   on_core t proc @@ fun () ->
-  Sim.Profile.span (prof t) "exit" @@ fun () ->
+  pspan t "exit" @@ fun () ->
   charge_syscall t;
   let aspace = proc.Proc.aspace in
   let table = Address_space.page_table aspace in
@@ -381,7 +381,7 @@ let register_if_anon t proc ~va =
 
 let mmap_anon t proc ~len ~prot ~populate =
   on_core t proc @@ fun () ->
-  Sim.Profile.span (prof t) "mmap" @@ fun () ->
+  pspan t "mmap" @@ fun () ->
   charge_syscall t;
   if len <= 0 then invalid_arg "Kernel.mmap_anon: empty mapping";
   let len = Sim.Units.round_up len ~align:Sim.Units.page_size in
@@ -403,7 +403,7 @@ let mmap_anon t proc ~len ~prot ~populate =
 
 let mmap_file t proc ~fs ~path ~prot ~share ~populate ?len ?(offset = 0) () =
   on_core t proc @@ fun () ->
-  Sim.Profile.span (prof t) "mmap" @@ fun () ->
+  pspan t "mmap" @@ fun () ->
   charge_syscall t;
   let ino =
     match Fs.Memfs.lookup fs path with
@@ -440,7 +440,7 @@ let mmap_file t proc ~fs ~path ~prot ~share ~populate ?len ?(offset = 0) () =
 
 let mprotect t proc ~va ~len ~prot =
   on_core t proc @@ fun () ->
-  Sim.Profile.span (prof t) "mprotect" @@ fun () ->
+  pspan t "mprotect" @@ fun () ->
   charge_syscall t;
   let aspace = proc.Proc.aspace in
   (match Address_space.find_vma aspace ~va with
@@ -450,7 +450,7 @@ let mprotect t proc ~va ~len ~prot =
   Hw.Mmu.invalidate_range (Address_space.mmu aspace) ~va ~len
 
 let context_switch t ~from_ ~to_ ~asids =
-  Sim.Profile.span (prof t) "context_switch" @@ fun () ->
+  pspan t "context_switch" @@ fun () ->
   let c = causal t in
   let out =
     Sim.Causal.emit c ~core:from_.Proc.core ~op:"switch_out"
@@ -471,7 +471,7 @@ let context_switch t ~from_ ~to_ ~asids =
 
 let madvise_dontneed t proc ~va ~len =
   on_core t proc @@ fun () ->
-  Sim.Profile.span (prof t) "madvise" @@ fun () ->
+  pspan t "madvise" @@ fun () ->
   charge_syscall t;
   let aspace = proc.Proc.aspace in
   let table = Address_space.page_table aspace in
@@ -497,7 +497,7 @@ let madvise_dontneed t proc ~va ~len =
 (* Deliver a fault to a user handler: trap, switch to the handler task,
    run it, install the page via the UFFDIO_COPY path, switch back. *)
 let handle_userfault t proc ~va ~write ~prot ~(handler : Userfault.handler) =
-  Sim.Profile.span (prof t) "userfault" @@ fun () ->
+  pspan t "userfault" @@ fun () ->
   let aspace = proc.Proc.aspace in
   let m = model t in
   charge t m.Sim.Cost_model.fault_trap;
@@ -537,7 +537,7 @@ let user_page_release t proc ~va =
     Some pfn
 
 let rec access_inner t proc ~va ~write =
-  Sim.Profile.span (prof t) "access" @@ fun () ->
+  pspan t "access" @@ fun () ->
   let aspace = proc.Proc.aspace in
   match Hw.Mmu.access (Address_space.mmu aspace) ~mem:t.mem ~va ~write with
   | Ok () -> ()
@@ -582,7 +582,7 @@ let access_range t proc ~va ~len ~write ~stride =
 
 let mlock t proc ~va ~len =
   on_core t proc @@ fun () ->
-  Sim.Profile.span (prof t) "mlock" @@ fun () ->
+  pspan t "mlock" @@ fun () ->
   charge_syscall t;
   let aspace = proc.Proc.aspace in
   let pages = Sim.Units.pages_of_bytes len in
@@ -603,7 +603,7 @@ let mlock t proc ~va ~len =
 
 let read_syscall t proc ~fs ~ino ~off ~len =
   on_core t proc @@ fun () ->
-  Sim.Profile.span (prof t) "read" @@ fun () ->
+  pspan t "read" @@ fun () ->
   charge_syscall t;
   let data = Fs.Memfs.read_file fs ino ~off ~len in
   let n = Bytes.length data in

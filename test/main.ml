@@ -5,6 +5,7 @@ let () =
       ("complexity", Test_complexity.suite);
       ("trace", Test_trace.suite);
       ("profile", Test_profile.suite);
+      ("hostprof", Test_hostprof.suite);
       ("physmem", Test_physmem.suite);
       ("alloc", Test_alloc.suite);
       ("mmu", Test_mmu.suite);

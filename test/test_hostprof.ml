@@ -1,0 +1,389 @@
+open Helpers
+
+(* A deterministic fake host clock: each read advances by [step] ns. *)
+let fake_ns ?(step = 10) () =
+  let t = ref 0 in
+  fun () ->
+    t := !t + step;
+    !t
+
+let mk ?vclock ?rss_kb ?step () = Sim.Hostprof.create ~now_ns:(fake_ns ?step ()) ?vclock ?rss_kb ()
+
+(* ----------------------------- spans ------------------------------- *)
+
+let test_span_nesting () =
+  let clock = mk_clock () in
+  let hp = mk ~vclock:clock () in
+  let v =
+    Sim.Hostprof.span hp "outer" (fun () ->
+        Sim.Clock.charge clock 5;
+        let inner = Sim.Hostprof.span hp "inner" (fun () -> Sim.Clock.charge clock 7; 1) in
+        inner + 1)
+  in
+  check_int "span returns f's value" 2 v;
+  check_int "stack drained" 0 (Sim.Hostprof.depth hp);
+  match Sim.Hostprof.tree hp with
+  | [ outer ] ->
+    check_string "root name" "outer" outer.Sim.Hostprof.name;
+    check_int "one call" 1 outer.Sim.Hostprof.calls;
+    check_int "outer vcycles cover everything" 12 outer.Sim.Hostprof.vcycles;
+    check_bool "outer ns positive" true (outer.Sim.Hostprof.ns > 0);
+    check_bool "self excludes inner ns" true (outer.Sim.Hostprof.self_ns < outer.Sim.Hostprof.ns);
+    (match outer.Sim.Hostprof.children with
+    | [ inner ] ->
+      check_string "child name" "inner" inner.Sim.Hostprof.name;
+      check_int "inner vcycles" 7 inner.Sim.Hostprof.vcycles;
+      check_bool "inner ns positive" true (inner.Sim.Hostprof.ns > 0)
+    | cs -> Alcotest.fail (Printf.sprintf "expected 1 child, got %d" (List.length cs)))
+  | roots -> Alcotest.fail (Printf.sprintf "expected 1 root, got %d" (List.length roots))
+
+let test_exception_unwinding () =
+  let hp = mk () in
+  (try
+     Sim.Hostprof.span hp "outer" (fun () ->
+         Sim.Hostprof.span hp "boom" (fun () -> failwith "x"))
+   with Failure _ -> ());
+  check_int "no leaked frames" 0 (Sim.Hostprof.depth hp);
+  match Sim.Hostprof.tree hp with
+  | [ outer ] -> (
+    check_int "outer call still counted" 1 outer.Sim.Hostprof.calls;
+    match outer.Sim.Hostprof.children with
+    | [ boom ] -> check_int "inner counted too" 1 boom.Sim.Hostprof.calls
+    | _ -> Alcotest.fail "inner span missing")
+  | _ -> Alcotest.fail "outer span missing"
+
+(* A host clock that goes BACKWARDS between reads: every exported delta
+   must clamp to zero, never negative. *)
+let test_monotonicity_clamped () =
+  let t = ref 1_000_000 in
+  let backwards () =
+    t := !t - 50;
+    !t
+  in
+  let hp = Sim.Hostprof.create ~now_ns:backwards () in
+  Sim.Hostprof.span hp "a" (fun () -> Sim.Hostprof.span hp "b" (fun () -> ()));
+  let rec check_node (n : Sim.Hostprof.node) =
+    check_bool (n.Sim.Hostprof.name ^ " ns >= 0") true (n.Sim.Hostprof.ns >= 0);
+    check_bool (n.Sim.Hostprof.name ^ " self_ns >= 0") true (n.Sim.Hostprof.self_ns >= 0);
+    List.iter check_node n.Sim.Hostprof.children
+  in
+  List.iter check_node (Sim.Hostprof.tree hp);
+  check_bool "total_ns clamped" true (Sim.Hostprof.total_ns hp >= 0);
+  check_bool "attributed_ns clamped" true (Sim.Hostprof.attributed_ns hp >= 0)
+
+let test_self_vs_cum_invariant () =
+  let hp = mk () in
+  for i = 1 to 5 do
+    Sim.Hostprof.span hp "a" (fun () ->
+        Sim.Hostprof.span hp "b" (fun () -> ignore (List.init i (fun j -> j)));
+        Sim.Hostprof.span hp "c" (fun () -> ()))
+  done;
+  let rec check_node (n : Sim.Hostprof.node) =
+    let sum f = List.fold_left (fun acc c -> acc + f c) 0 n.Sim.Hostprof.children in
+    check_int
+      (Printf.sprintf "self_ns = ns - children at %s" n.Sim.Hostprof.name)
+      n.Sim.Hostprof.self_ns
+      (n.Sim.Hostprof.ns - sum (fun c -> c.Sim.Hostprof.ns));
+    check_int
+      (Printf.sprintf "self_words = words - children at %s" n.Sim.Hostprof.name)
+      n.Sim.Hostprof.self_words
+      (n.Sim.Hostprof.words - sum (fun c -> c.Sim.Hostprof.words));
+    List.iter check_node n.Sim.Hostprof.children
+  in
+  List.iter check_node (Sim.Hostprof.tree hp)
+
+let test_disabled_sentinel () =
+  let hp = Sim.Hostprof.disabled in
+  check_bool "disabled" false (Sim.Hostprof.enabled hp);
+  check_int "span still runs f" 9 (Sim.Hostprof.span hp "x" (fun () -> 9));
+  check_int "no tree" 0 (List.length (Sim.Hostprof.tree hp));
+  check_int "no ns" 0 (Sim.Hostprof.total_ns hp);
+  check_int "no words" 0 (Sim.Hostprof.total_words hp);
+  Sim.Hostprof.sample_self hp;
+  check_int "sample_self is a no-op" 0 (Sim.Hostprof.self_recorded hp)
+
+let test_attach_disabled_rejected () =
+  Alcotest.check_raises "cannot attach to the shared disabled trace"
+    (Invalid_argument "Trace.attach_hostprof: disabled trace") (fun () ->
+      Sim.Trace.attach_hostprof Sim.Trace.disabled Sim.Hostprof.disabled)
+
+(* --------------------- zero virtual-clock cost --------------------- *)
+
+(* Host profiling must never touch the virtual clock or the stats plane:
+   a profiled churn run is byte-identical to an unprofiled one in
+   simulated cycles AND every counter. *)
+let run_churn_workload k =
+  let p = Os.Kernel.create_process k () in
+  let len = Sim.Units.kib 64 in
+  let va = Os.Kernel.mmap_anon k p ~len ~prot:Hw.Prot.rw ~populate:false in
+  ignore (Os.Kernel.access_range k p ~va ~len ~write:true ~stride:Sim.Units.page_size);
+  Os.Kernel.munmap k p ~va ~len;
+  ( Sim.Clock.now (Os.Kernel.clock k),
+    Sim.Json.to_string (Sim.Stats.to_json (Os.Kernel.stats k)) )
+
+let test_zero_virtual_cost () =
+  let k_plain = mk_kernel () in
+  let cycles_plain, stats_plain = run_churn_workload k_plain in
+  let k_prof = mk_kernel () in
+  let hp = mk ~vclock:(Os.Kernel.clock k_prof) () in
+  Sim.Trace.attach_hostprof (Os.Kernel.trace k_prof) hp;
+  let cycles_prof, stats_prof = run_churn_workload k_prof in
+  check_int "identical virtual cycles with host profiling on" cycles_plain cycles_prof;
+  check_string "identical counters with host profiling on" stats_plain stats_prof;
+  check_bool "host profiler saw the work" true (Sim.Hostprof.attributed_ns hp > 0);
+  check_bool "vcycles attributed too" true (Sim.Hostprof.total_vcycles hp > 0)
+
+(* -------------------- allocation determinism ----------------------- *)
+
+(* Allocated-words attribution depends only on the allocation sequence,
+   which is fixed for a fixed binary and workload — two identical runs
+   must agree word-for-word on every path. (A warm-up run first absorbs
+   any one-time lazy module initialisation.) *)
+let words_profile () =
+  let k = mk_kernel () in
+  let hp = mk ~vclock:(Os.Kernel.clock k) () in
+  Sim.Trace.attach_hostprof (Os.Kernel.trace k) hp;
+  ignore (run_churn_workload k);
+  List.map
+    (fun (path, (n : Sim.Hostprof.node)) ->
+      (path, n.Sim.Hostprof.calls, n.Sim.Hostprof.words, n.Sim.Hostprof.vcycles))
+    (Sim.Hostprof.flatten hp)
+
+let test_words_deterministic () =
+  ignore (words_profile ());
+  let a = words_profile () in
+  let b = words_profile () in
+  check_int "same paths" (List.length a) (List.length b);
+  List.iter2
+    (fun (pa, ca, wa, va) (pb, cb, wb, vb) ->
+      check_string "path" pa pb;
+      check_int (pa ^ " calls") ca cb;
+      check_int (pa ^ " words") wa wb;
+      check_int (pa ^ " vcycles") va vb)
+    a b
+
+(* -------------------------- self gauges ---------------------------- *)
+
+let test_self_samples_bounded () =
+  let hp = mk ~rss_kb:(fun () -> 42) () in
+  for _ = 1 to 1100 do
+    Sim.Hostprof.sample_self hp
+  done;
+  check_int "recorded counts everything" 1100 (Sim.Hostprof.self_recorded hp);
+  let samples = Sim.Hostprof.self_samples hp in
+  check_int "retained bounded at capacity" 1024 (List.length samples);
+  List.iter
+    (fun s ->
+      check_int "injected rss reader used" 42 s.Sim.Hostprof.rss_kb;
+      check_bool "heap gauge populated" true (s.Sim.Hostprof.heap_words > 0))
+    samples;
+  (* at_ns is non-decreasing in sample order *)
+  ignore
+    (List.fold_left
+       (fun prev s ->
+         check_bool "at_ns non-decreasing" true (s.Sim.Hostprof.at_ns >= prev);
+         s.Sim.Hostprof.at_ns)
+       0 samples)
+
+(* --------------------------- exporters ----------------------------- *)
+
+let test_collapsed_golden () =
+  (* step=10 and no inner reads between: outer span = 2 reads around f
+     plus 2 around the inner span's bracket — exact ns are clock-step
+     arithmetic, so pin the self-ns collapsed lines (by:`Ns only emits
+     ns; the words remainder line is real GC state and stays out). *)
+  let hp = mk ~step:10 () in
+  Sim.Hostprof.span hp "mmap" (fun () -> Sim.Hostprof.span hp "fault" (fun () -> ()));
+  Sim.Hostprof.span hp "access" (fun () -> ());
+  let s = Sim.Hostprof.to_collapsed ~by:`Ns hp in
+  check_bool "mmap line present" true (contains ~needle:"mmap " s);
+  check_bool "nested path present" true (contains ~needle:"mmap;fault " s);
+  check_bool "access line present" true (contains ~needle:"access " s);
+  check_bool "unattributed remainder explicit" true (contains ~needle:"(unattributed) " s)
+
+let test_to_json_shape () =
+  let clock = mk_clock () in
+  let hp = mk ~vclock:clock () in
+  Sim.Hostprof.span hp "mmap" (fun () ->
+      Sim.Clock.charge clock 100;
+      Sim.Hostprof.span hp "fault" (fun () -> Sim.Clock.charge clock 40));
+  let json = Sim.Hostprof.to_json hp in
+  (match Sim.Json.of_string (Sim.Json.to_string json) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("hostprof JSON does not parse: " ^ e));
+  (match Sim.Json.member json "total_vcycles" with
+  | Some (Sim.Json.Int n) -> check_int "vcycles totalled" 140 n
+  | _ -> Alcotest.fail "total_vcycles missing");
+  (match Sim.Json.member json "gc" with
+  | Some gc -> (
+    match Sim.Json.member gc "allocated_words" with
+    | Some (Sim.Json.Int _) -> ()
+    | _ -> Alcotest.fail "gc.allocated_words missing")
+  | None -> Alcotest.fail "gc block missing");
+  match Sim.Json.member json "tree" with
+  | Some (Sim.Json.Obj [ ("mmap", m) ]) -> (
+    match Sim.Json.member m "vcycles" with
+    | Some (Sim.Json.Int n) -> check_int "per-node vcycles" 140 n
+    | _ -> Alcotest.fail "node vcycles missing")
+  | _ -> Alcotest.fail "tree missing"
+
+let test_top_paths_ranking () =
+  let hp = mk ~step:1 () in
+  (* "big" burns many fake-ns (extra spans inside), "small" few. *)
+  Sim.Hostprof.span hp "big" (fun () ->
+      for _ = 1 to 50 do
+        Sim.Hostprof.span hp "inner" (fun () -> ())
+      done);
+  Sim.Hostprof.span hp "small" (fun () -> ());
+  match Sim.Hostprof.top_paths ~k:3 ~by:`Ns hp with
+  | [ (p1, n1); (p2, n2); (p3, n3) ] ->
+    check_bool "big paths outrank small" true (p1 <> "small" && p2 <> "small");
+    check_string "coldest self-ns path last" "small" p3;
+    check_bool "ranking is by descending self_ns" true
+      (n1.Sim.Hostprof.self_ns >= n2.Sim.Hostprof.self_ns
+      && n2.Sim.Hostprof.self_ns >= n3.Sim.Hostprof.self_ns)
+  | l -> Alcotest.fail (Printf.sprintf "expected 3 ranked paths, got %d" (List.length l))
+
+(* ------------------------- order statistics ------------------------ *)
+
+let test_quantiles () =
+  check_bool "median odd" true (Sim.Regress.median [ 3.0; 1.0; 2.0 ] = 2.0);
+  check_bool "median even interpolates" true (Sim.Regress.median [ 4.0; 1.0; 3.0; 2.0 ] = 2.5);
+  check_bool "singleton" true (Sim.Regress.quantile [ 7.0 ] 0.99 = 7.0);
+  let p25, med, p75 = Sim.Regress.quartiles [ 1.0; 2.0; 3.0; 4.0 ] in
+  check_bool "p25" true (p25 = 1.75);
+  check_bool "median" true (med = 2.5);
+  check_bool "p75" true (p75 = 3.25);
+  Alcotest.check_raises "empty sample rejected"
+    (Invalid_argument "Regress.quantile: empty sample") (fun () ->
+      ignore (Sim.Regress.quantile [] 0.5))
+
+(* ------------------------ regress gating --------------------------- *)
+
+(* Minimal comparable documents (same schema + provenance). *)
+let doc sections =
+  Sim.Json.Obj
+    ([ ("schema", Sim.Json.String "test/1"); ("provenance", Sim.Json.Obj [] ) ] @ sections)
+
+let throughput_doc ~median ~iqr =
+  doc
+    [
+      ( "throughput",
+        Sim.Json.Obj
+          [
+            ( "churn",
+              Sim.Json.Obj
+                [
+                  ("median_ops_per_sec", Sim.Json.Float median);
+                  ("iqr_ops_per_sec", Sim.Json.Float iqr);
+                ] );
+          ] );
+    ]
+
+let diff ?gate_throughput ?gate_host_alloc old_doc new_doc =
+  match Sim.Regress.compare_docs ?gate_throughput ?gate_host_alloc ~old_doc ~new_doc () with
+  | Ok r -> r
+  | Error e -> Alcotest.fail ("compare_docs: " ^ e)
+
+let test_throughput_noise_floor () =
+  (* A 15% drop with a 10% default threshold would gate — but the old
+     run's IQR is 10% of its median, so the noise floor is 20% and the
+     drop must NOT flag even with the gate on. *)
+  let old_doc = throughput_doc ~median:1000.0 ~iqr:100.0 in
+  let new_doc = throughput_doc ~median:850.0 ~iqr:10.0 in
+  let r = diff ~gate_throughput:true old_doc new_doc in
+  check_int "inside noise floor: no regressions" 0 (List.length (Sim.Regress.regressions r));
+  (* A 50% drop is far outside the floor: gates when asked... *)
+  let new_bad = throughput_doc ~median:500.0 ~iqr:10.0 in
+  let r = diff ~gate_throughput:true old_doc new_bad in
+  check_int "outside noise floor: gated" 1 (List.length (Sim.Regress.regressions r));
+  (* ...and is report-only without the gate. *)
+  let r = diff old_doc new_bad in
+  check_int "report-only by default" 0 (List.length (Sim.Regress.regressions r))
+
+let host_doc ~words =
+  doc
+    [
+      ( "host",
+        Sim.Json.Obj
+          [
+            ( "churn_malloc",
+              Sim.Json.Obj
+                [
+                  ("enabled", Sim.Json.Bool true);
+                  ("total_ns", Sim.Json.Int 12345);
+                  ("attributed_words", Sim.Json.Int words);
+                  ( "tree",
+                    Sim.Json.Obj
+                      [
+                        ( "malloc",
+                          Sim.Json.Obj
+                            [
+                              ("calls", Sim.Json.Int 100);
+                              ("ns", Sim.Json.Int 999);
+                              ("self_ns", Sim.Json.Int 999);
+                              ("words", Sim.Json.Int words);
+                              ("self_words", Sim.Json.Int words);
+                              ("vcycles", Sim.Json.Int 5000);
+                            ] );
+                      ] );
+                ] );
+          ] );
+    ]
+
+let test_host_alloc_gate () =
+  let old_doc = host_doc ~words:1000 in
+  let new_doc = host_doc ~words:1500 (* +50% allocation *) in
+  let r = diff old_doc new_doc in
+  check_int "host words report-only by default" 0 (List.length (Sim.Regress.regressions r));
+  check_bool "but the delta is reported" true
+    (List.exists (fun d -> d.Sim.Regress.key = "attributed_words") r.Sim.Regress.deltas);
+  let r = diff ~gate_host_alloc:true old_doc new_doc in
+  let regs = Sim.Regress.regressions r in
+  check_bool "gated under --gate-host-alloc" true (List.length regs >= 1);
+  check_bool "per-path words gated too" true
+    (List.exists
+       (fun d -> d.Sim.Regress.section = "host.churn_malloc.tree.malloc" && d.Sim.Regress.key = "words")
+       regs);
+  (* ns keys never gate, even under the alloc gate *)
+  check_bool "ns never gates" true
+    (List.for_all
+       (fun d -> not (contains ~needle:"ns" d.Sim.Regress.key))
+       regs);
+  (* an improvement (fewer words) never gates *)
+  let r = diff ~gate_host_alloc:true new_doc old_doc in
+  check_int "shrinking allocation passes" 0 (List.length (Sim.Regress.regressions r))
+
+let test_host_enabled_flip_gates () =
+  let flip enabled =
+    doc
+      [
+        ( "host",
+          Sim.Json.Obj
+            [ ("churn_malloc", Sim.Json.Obj [ ("enabled", Sim.Json.Bool enabled) ]) ] );
+      ]
+  in
+  let r = diff (flip true) (flip false) in
+  check_int "plane silently detaching is a regression" 1
+    (List.length (Sim.Regress.regressions r))
+
+let suite =
+  [
+    Alcotest.test_case "hostprof: span nesting" `Quick test_span_nesting;
+    Alcotest.test_case "hostprof: exception unwinding" `Quick test_exception_unwinding;
+    Alcotest.test_case "hostprof: non-monotonic clock clamped" `Quick test_monotonicity_clamped;
+    Alcotest.test_case "hostprof: self vs cum invariant" `Quick test_self_vs_cum_invariant;
+    Alcotest.test_case "hostprof: disabled sentinel" `Quick test_disabled_sentinel;
+    Alcotest.test_case "hostprof: attach to disabled trace rejected" `Quick
+      test_attach_disabled_rejected;
+    Alcotest.test_case "hostprof: zero virtual-clock cost" `Quick test_zero_virtual_cost;
+    Alcotest.test_case "hostprof: allocated words deterministic" `Quick test_words_deterministic;
+    Alcotest.test_case "hostprof: self samples bounded" `Quick test_self_samples_bounded;
+    Alcotest.test_case "hostprof: collapsed export" `Quick test_collapsed_golden;
+    Alcotest.test_case "hostprof: to_json shape" `Quick test_to_json_shape;
+    Alcotest.test_case "hostprof: top paths ranking" `Quick test_top_paths_ranking;
+    Alcotest.test_case "regress: quantile helpers" `Quick test_quantiles;
+    Alcotest.test_case "regress: throughput IQR noise floor" `Quick test_throughput_noise_floor;
+    Alcotest.test_case "regress: host alloc gate" `Quick test_host_alloc_gate;
+    Alcotest.test_case "regress: host enabled flip gates" `Quick test_host_enabled_flip_gates;
+  ]
