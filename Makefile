@@ -70,13 +70,18 @@ timeline:
 critical-path:
 	dune exec bin/o1mem_cli.exe -- critical-path
 
-# R1 chaos matrix: crash-at-every-step explorers plus every named fault
-# plan under a fixed seed matrix. Exit 1 on any unexpected invariant
-# violation (see EXPERIMENTS.md "R1 — does it survive?"). CI runs this.
+# R1/R2 chaos matrix: crash-at-every-step explorers (WAL, FOM fs, and
+# the persistent store with its torn/flip damage arms) plus every named
+# fault plan under a fixed seed matrix, then the store end-to-end
+# crash/recovery demo. Exit 1 on any unexpected invariant violation
+# (see EXPERIMENTS.md "R1 — does it survive?" and "R2 — does the store
+# survive?"). CI runs this.
 chaos:
 	dune exec bin/o1mem_cli.exe -- faults --seed 42 --plan each --explore
 	dune exec bin/o1mem_cli.exe -- faults --seed 7 --plan each
 	dune exec bin/o1mem_cli.exe -- faults --seed 2017 --plan each
 	dune exec bin/o1mem_cli.exe -- faults --seed 99 --plan tlb --rounds 32
+	dune exec bin/o1mem_cli.exe -- faults --seed 31 --plan store --rounds 24
+	dune exec bin/o1mem_cli.exe -- store
 
 .PHONY: all test test-verbose bench examples clean check bench-diff throughput profile hotspots chaos timeline critical-path

@@ -111,7 +111,7 @@ let smp_to_json () =
      ]
     @ per_core)
 
-let schema_version = "o1mem.metrics/8"
+let schema_version = "o1mem.metrics/9"
 
 (* Provenance: everything a reader needs to decide whether two exports are
    comparable. Runs under different cost models or trace capacities would
@@ -136,6 +136,7 @@ let to_json ?events_limit k =
       ("complexity", Exp_complexity.to_json ());
       ("profile", Exp_profile.to_json ());
       ("faults", Exp_faults.to_json ());
+      ("store", Exp_store.to_json ());
       ("smp", smp_to_json ());
       ("causal", Exp_causal.to_json ());
     ]

@@ -25,7 +25,9 @@ let run_tables () =
   separator "Complexity classes (C1)";
   Experiments.Exp_complexity.run ();
   separator "Robustness (R1)";
-  Experiments.Exp_faults.run ()
+  Experiments.Exp_faults.run ();
+  separator "Store robustness (R2)";
+  Experiments.Exp_store.run ()
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel: host wall-clock of each experiment's core operation.      *)

@@ -5,7 +5,8 @@
    o1mem_cli walkrefs ...             translation reference counts
    o1mem_cli simulate ...             one-off alloc+touch measurement
    o1mem_cli metrics ...              run the traced workload, print JSON
-   o1mem_cli faults ...               fault injection, crash explorers *)
+   o1mem_cli faults ...               fault injection, crash explorers
+   o1mem_cli store ...                persistent store crash/recovery demo *)
 
 open Cmdliner
 
@@ -334,12 +335,27 @@ let faults seed plan rounds explore =
     in
     report "wal" (O1mem.Chaos.explore_wal ~seed ());
     report "fs" (O1mem.Chaos.explore_fs ~seed ());
+    let s = Store.Chaos.explore_store ~seed () in
+    Printf.printf
+      "store explorer: %d durable steps (%d fences), %d crashes, %d torn + %d flip detections, %d \
+       violations\n"
+      s.Store.Chaos.steps s.Store.Chaos.fences s.Store.Chaos.crashes s.Store.Chaos.torn_detections
+      s.Store.Chaos.flip_detections
+      (List.length s.Store.Chaos.violations);
+    List.iter (fun v -> Printf.printf "    VIOLATION %s\n" v) s.Store.Chaos.violations;
+    if
+      s.Store.Chaos.violations <> [] || s.Store.Chaos.steps = 0
+      || s.Store.Chaos.torn_detections = 0 || s.Store.Chaos.flip_detections = 0
+    then failed := true;
     print_newline ()
   end;
   let outcomes =
-    let run p = O1mem.Chaos.run_plan ~seed ~rounds ~plan:p () in
+    let run p =
+      if p = "store" then Store.Chaos.run_plan ~seed ~rounds ()
+      else O1mem.Chaos.run_plan ~seed ~rounds ~plan:p ()
+    in
     match plan with
-    | "each" -> List.map run O1mem.Chaos.plans
+    | "each" -> List.map run (O1mem.Chaos.plans @ [ "store" ])
     | p -> (
       try [ run p ]
       with Invalid_argument msg ->
@@ -384,13 +400,99 @@ let faults_cmd =
   let plan =
     Arg.(
       value & opt string "all"
-      & info [ "plan" ] ~docv:"PLAN" ~doc:"alloc|nvm|quota|tlb|all, or 'each' to run every plan.")
+      & info [ "plan" ] ~docv:"PLAN"
+          ~doc:"alloc|nvm|quota|tlb|all|store, or 'each' to run every plan.")
   in
   let rounds = Arg.(value & opt int 16 & info [ "rounds" ] ~doc:"Workload rounds per plan.") in
   let explore =
     Arg.(value & flag & info [ "explore" ] ~doc:"Also run the crash-at-every-step explorers.")
   in
   Cmd.v (Cmd.info "faults" ~doc) Term.(const faults $ seed $ plan $ rounds $ explore)
+
+(* ------------------------------ store ------------------------------ *)
+
+(* End-to-end demonstration of the persistent object store: populate,
+   lose power with a transaction in flight, recover through the FOM
+   recovery hooks, and print what came back. Exit 1 if the recovered
+   store is unusable: a committed object lost, a verify or Os.Check
+   violation, or a probe write that does not read back. *)
+let store keys txns seed =
+  let k = Experiments.Bench_env.kernel ~dram:(Sim.Units.mib 32) ~nvm:(Sim.Units.mib 32) () in
+  let fom = O1mem.Fom.create k () in
+  let p = Os.Kernel.create_process k () in
+  let st = Store.Kv.create fom p ~name:"/cli" () in
+  let key i = Printf.sprintf "key%03d" i in
+  let rng = Sim.Rng.create ~seed in
+  ignore (Store.Kv.begin_txn st);
+  for i = 1 to keys do
+    Store.Kv.put st (key i) (String.make (48 + (i mod 64)) 'a')
+  done;
+  Store.Kv.set_root st "head" (key 1);
+  Store.Kv.commit st;
+  Store.Kv.checkpoint st;
+  for c = 1 to txns do
+    ignore (Store.Kv.begin_txn st);
+    for _ = 1 to 3 do
+      let i = 1 + Sim.Rng.zipf rng ~n:keys ~theta:0.99 in
+      Store.Kv.put st (key i) (String.make (48 + (c mod 64)) (Char.chr (Char.code 'a' + (c mod 26))))
+    done;
+    Store.Kv.commit st
+  done;
+  ignore (Store.Kv.begin_txn st);
+  Store.Kv.put st (key 1) (String.make 64 'z');
+  Printf.printf "store %s: %d objects, %d roots, generation %d, %d WAL records before crash\n"
+    (Store.Kv.name st) (Store.Kv.object_count st)
+    (List.length (Store.Kv.roots st))
+    (Store.Kv.generation st) (Store.Kv.wal_record_count st);
+  let report = O1mem.Persistence.crash_and_recover fom in
+  Printf.printf "crash with a transaction in flight; recovery: %d cycles charged\n"
+    report.O1mem.Persistence.recovery_cycles;
+  List.iter
+    (fun (h, n) -> Printf.printf "  hook %-12s replayed %d committed record(s)\n" h n)
+    report.O1mem.Persistence.hook_records;
+  Printf.printf
+    "recovered: %d objects, %d roots, generation %d, %d WAL records, %d truncated tails\n"
+    (Store.Kv.object_count st)
+    (List.length (Store.Kv.roots st))
+    (Store.Kv.generation st) (Store.Kv.wal_record_count st)
+    (Store.Kv.recovery_truncations st);
+  let failed = ref false in
+  if Store.Kv.object_count st < keys then begin
+    Printf.printf "LOST OBJECTS: %d of %d survive\n" (Store.Kv.object_count st) keys;
+    failed := true
+  end;
+  (match Store.Kv.verify st with
+  | [] -> Printf.printf "verify: every root and object checks out\n"
+  | vs ->
+    List.iter (fun v -> Printf.printf "VIOLATION %s\n" (Os.Check.violation_to_string v)) vs;
+    failed := true);
+  (match Os.Check.run k with
+  | [] -> ()
+  | vs ->
+    List.iter (fun v -> Printf.printf "VIOLATION %s\n" (Os.Check.violation_to_string v)) vs;
+    failed := true);
+  ignore (Store.Kv.begin_txn st);
+  Store.Kv.put st "probe" "usable";
+  Store.Kv.commit st;
+  if Store.Kv.get st "probe" <> Some "usable" then begin
+    Printf.printf "UNUSABLE: post-recovery probe write does not read back\n";
+    failed := true
+  end
+  else Printf.printf "post-recovery probe write reads back: store is usable\n";
+  Store.Kv.detach st;
+  if !failed then exit 1
+
+let store_cmd =
+  let doc =
+    "Run the crash-consistent persistent object store end to end: populate it, cut power with a \
+     transaction in flight, recover through the FOM recovery hooks, and verify every root, \
+     checksum and invariant; exits non-zero if any committed state was lost or the recovered \
+     store is unusable"
+  in
+  let keys = Arg.(value & opt int 48 & info [ "keys" ] ~doc:"Objects to preload.") in
+  let txns = Arg.(value & opt int 6 & info [ "txns" ] ~doc:"Update transactions before the crash.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic workload seed.") in
+  Cmd.v (Cmd.info "store" ~doc) Term.(const store $ keys $ txns $ seed)
 
 (* ---------------------------- hotspots ----------------------------- *)
 
@@ -627,5 +729,5 @@ let () =
           [
             experiments_cmd; study_cmd; walkrefs_cmd; simulate_cmd; churn_cmd; metrics_cmd;
             profile_cmd; top_cmd; hotspots_cmd; timeline_cmd; critical_path_cmd; faults_cmd;
-            bench_diff_cmd;
+            store_cmd; bench_diff_cmd;
           ]))

@@ -3,10 +3,14 @@ type report = {
   masters_kept : int;
   masters_dropped : int;
   recovery_cycles : int;
+  hook_records : (string * int) list;
 }
 
 let crash fom =
   let kernel = Fom.kernel fom in
+  (* Component crash hooks first, while their handles still make sense:
+     e.g. the store reverts unflushed lines of its private WAL handle. *)
+  Fom.run_crash_hooks fom;
   (* Processes die with the machine: no orderly teardown, no unmap cost. *)
   Physmem.Phys_mem.crash (Os.Kernel.mem kernel);
   Fs.Memfs.crash (Os.Kernel.tmpfs kernel);
@@ -29,11 +33,16 @@ let recover fom =
   (match Os.Kernel.pmfs kernel with
   | Some p -> Sim.Stats.set_gauge (Os.Kernel.stats kernel) "wal_bytes" (Fs.Memfs.journal_bytes p)
   | None -> ());
+  (* Component recovery hooks last: the file system is consistent, so the
+     store (and anything else registered) can replay its own WAL and
+     rebuild its index — before any process maps the recovered data. *)
+  let hook_records = Fom.run_recovery_hooks fom in
   {
     files_scanned;
     masters_kept = kept;
     masters_dropped = dropped;
     recovery_cycles = Sim.Clock.elapsed clock ~since:before;
+    hook_records;
   }
 
 let crash_and_recover fom =

@@ -15,14 +15,19 @@ type report = {
   masters_kept : int;
   masters_dropped : int;
   recovery_cycles : int;
+  hook_records : (string * int) list;
+      (** per registered recovery hook (name order): records it replayed *)
 }
 
 val crash : Fom.t -> unit
 (** Power failure: all processes die, DRAM contents and the tmpfs
-    namespace are lost, unflushed NVM lines are torn. *)
+    namespace are lost, unflushed NVM lines are torn. Registered
+    {!Fom.on_crash} hooks run first. *)
 
 val recover : Fom.t -> report
 (** Bring the machine back: run PMFS recovery, prune master page tables
-    of files that did not survive, and reset FOM's region registry. *)
+    of files that did not survive, and reset FOM's region registry; then
+    run registered {!Fom.on_recover} hooks (e.g. store WAL replay), so
+    recovery completes before any process remaps the data. *)
 
 val crash_and_recover : Fom.t -> report

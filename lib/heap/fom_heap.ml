@@ -4,22 +4,24 @@ let classes = 14
 
 type t = {
   fom : O1mem.Fom.t;
-  proc : Os.Proc.t;
+  mutable proc : Os.Proc.t;
   arena_bytes : int;
+  file_prefix : string option;
   free_lists : int list array;
   live : (int, int) Hashtbl.t; (* va -> size *)
   large_regions : (int, O1mem.Fom.region) Hashtbl.t; (* va -> region *)
-  mutable arena_regions : O1mem.Fom.region list;
+  mutable arena_regions : O1mem.Fom.region list; (* creation order *)
   mutable arena_cursor : int;
   mutable arena_tail : int;
   mutable live_bytes : int;
 }
 
-let create fom proc ?(arena_bytes = Sim.Units.mib 1) () =
+let create fom proc ?(arena_bytes = Sim.Units.mib 1) ?file_prefix () =
   {
     fom;
     proc;
     arena_bytes;
+    file_prefix;
     free_lists = Array.make classes [];
     live = Hashtbl.create 256;
     large_regions = Hashtbl.create 16;
@@ -36,8 +38,17 @@ let class_of bytes =
 let class_size k = min_class lsl k
 
 let grow_arena t =
-  let r = O1mem.Fom.alloc t.fom t.proc ~len:t.arena_bytes ~prot:Hw.Prot.rw () in
-  t.arena_regions <- r :: t.arena_regions;
+  let r =
+    match t.file_prefix with
+    | None -> O1mem.Fom.alloc t.fom t.proc ~len:t.arena_bytes ~prot:Hw.Prot.rw ()
+    | Some prefix ->
+      (* Named, persistent arenas: the heap's memory survives a crash and
+         can be re-mapped by path, in creation order, after recovery. *)
+      O1mem.Fom.alloc t.fom t.proc
+        ~name:(Printf.sprintf "%s.%d" prefix (List.length t.arena_regions))
+        ~persistence:Fs.Inode.Persistent ~len:t.arena_bytes ~prot:Hw.Prot.rw ()
+  in
+  t.arena_regions <- t.arena_regions @ [ r ];
   t.arena_cursor <- r.O1mem.Fom.va;
   t.arena_tail <- r.O1mem.Fom.va + r.O1mem.Fom.len
 
@@ -88,6 +99,68 @@ let footprint_bytes t =
   + Hashtbl.fold (fun _ (r : O1mem.Fom.region) acc -> acc + r.O1mem.Fom.len) t.large_regions 0
 
 let region_count t = List.length t.arena_regions + Hashtbl.length t.large_regions
+
+(* Arena-relative addressing: stable block identities for persistent
+   callers. A (arena index, byte offset) pair survives crashes and
+   re-mapping at new VAs, which raw virtual addresses do not. *)
+
+let arena_count t = List.length t.arena_regions
+
+let arena_region t i =
+  match List.nth_opt t.arena_regions i with
+  | Some r -> r
+  | None -> invalid_arg "Fom_heap.arena_region: no such arena"
+
+let locate t va =
+  let rec loop i = function
+    | [] -> None
+    | (r : O1mem.Fom.region) :: rest ->
+      if va >= r.O1mem.Fom.va && va < r.O1mem.Fom.va + r.O1mem.Fom.len then
+        Some (i, va - r.O1mem.Fom.va)
+      else loop (i + 1) rest
+  in
+  loop 0 t.arena_regions
+
+let address t ~arena ~off =
+  let r = arena_region t arena in
+  if off < 0 || off >= r.O1mem.Fom.len then invalid_arg "Fom_heap.address: offset out of arena";
+  r.O1mem.Fom.va + off
+
+let iter_live t f = Hashtbl.iter f t.live
+
+let reattach t proc =
+  if t.file_prefix = None then invalid_arg "Fom_heap.reattach: heap has no file_prefix";
+  if Hashtbl.length t.large_regions > 0 then
+    invalid_arg "Fom_heap.reattach: large regions do not survive reattach";
+  let old_arenas = t.arena_regions in
+  let fresh =
+    List.map
+      (fun (r : O1mem.Fom.region) -> O1mem.Fom.map_path t.fom proc ~prot:Hw.Prot.rw r.O1mem.Fom.path)
+      old_arenas
+  in
+  (* Rebase every VA-keyed structure: same arena index + offset, new base. *)
+  let translate va =
+    let rec loop olds news =
+      match (olds, news) with
+      | (o : O1mem.Fom.region) :: otl, (n : O1mem.Fom.region) :: ntl ->
+        if va >= o.O1mem.Fom.va && va < o.O1mem.Fom.va + o.O1mem.Fom.len then
+          n.O1mem.Fom.va + (va - o.O1mem.Fom.va)
+        else loop otl ntl
+      | _ -> invalid_arg "Fom_heap.reattach: va outside every arena"
+    in
+    loop old_arenas fresh
+  in
+  let live' = Hashtbl.fold (fun va size acc -> (translate va, size) :: acc) t.live [] in
+  Hashtbl.reset t.live;
+  List.iter (fun (va, size) -> Hashtbl.replace t.live va size) live';
+  Array.iteri (fun k l -> t.free_lists.(k) <- List.map translate l) t.free_lists;
+  (match (List.rev old_arenas, List.rev fresh) with
+  | last_old :: _, last_fresh :: _ ->
+    t.arena_cursor <- last_fresh.O1mem.Fom.va + (t.arena_cursor - last_old.O1mem.Fom.va);
+    t.arena_tail <- last_fresh.O1mem.Fom.va + last_fresh.O1mem.Fom.len
+  | _ -> ());
+  t.arena_regions <- fresh;
+  t.proc <- proc
 
 let destroy t =
   List.iter (fun r -> O1mem.Fom.free t.fom t.proc r) t.arena_regions;

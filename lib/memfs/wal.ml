@@ -1,5 +1,5 @@
 let marker = '\xC3'
-let header_bytes = 8
+let header_bytes = 12
 
 type t = {
   nvm : Physmem.Nvm.t;
@@ -7,6 +7,18 @@ type t = {
   capacity : int;
   mutable cursor : int; (* offset of the next record *)
   mutable records : string list; (* newest first *)
+  mutable last_recovery : recovery_detail option;
+}
+
+and trunc =
+  | Bad_header
+  | Bad_marker
+  | Bad_checksum
+
+and recovery_detail = {
+  valid_records : int;
+  scanned_bytes : int;
+  truncated : trunc option;
 }
 
 (* Adler-ish rolling checksum, 32 bits, never zero (zero means "blank"). *)
@@ -25,8 +37,12 @@ let le32 v =
   Bytes.set_int32_le b 0 (Int32.of_int v);
   Bytes.to_string b
 
-let read_le32 mem addr =
-  Int32.to_int (Bytes.get_int32_le (Physmem.Phys_mem.read mem ~addr ~len:4) 0) land 0xFFFFFFFF
+(* Header: length, payload checksum, then a CRC over those 8 bytes. A torn
+   or bit-flipped header fails its own CRC instead of being trusted as a
+   length field pointing into garbage. *)
+let header payload =
+  let body = le32 (String.length payload) ^ le32 (checksum payload) in
+  body ^ le32 (checksum body)
 
 let record_span payload_len = header_bytes + payload_len + 1
 
@@ -35,7 +51,7 @@ let create ~nvm ~base ~capacity =
   if Physmem.Phys_mem.region_of_frame mem (Physmem.Frame.of_addr base) <> Physmem.Phys_mem.Nvm
   then invalid_arg "Wal.create: base not in the NVM region";
   if capacity < record_span 1 then invalid_arg "Wal.create: capacity too small";
-  { nvm; base; capacity; cursor = 0; records = [] }
+  { nvm; base; capacity; cursor = 0; records = []; last_recovery = None }
 
 type error = Wal_full
 
@@ -45,9 +61,16 @@ let append ?(durable = true) t payload =
   if t.cursor + span > t.capacity then Error Wal_full
   else begin
     let addr = t.base + t.cursor in
-    (* 1. Header + payload. *)
-    Physmem.Nvm.write_persistent t.nvm ~addr
-      (le32 (String.length payload) ^ le32 (checksum payload) ^ payload);
+    (* 1. Header + payload — plus a blank header right after the record,
+       durable BEFORE the commit marker. A reset only blanks the log's
+       head, so stale records from before it survive further out; without
+       the blank, a recovery scan that happens to land on one of their
+       boundaries would replay pre-reset transactions as if they were
+       the newest. With it, any scan that accepts this record stops. *)
+    Physmem.Nvm.write_persistent t.nvm ~addr (header payload ^ payload);
+    let blank_tail = t.cursor + span + header_bytes <= t.capacity in
+    if blank_tail then
+      Physmem.Nvm.write_persistent t.nvm ~addr:(addr + span) (String.make header_bytes '\000');
     if durable then begin
       let full_len = header_bytes + String.length payload in
       (* Injected buggy flush loop: only the first half of the record's
@@ -60,6 +83,7 @@ let append ?(durable = true) t payload =
         then full_len / 2
         else full_len
       in
+      if blank_tail then Physmem.Nvm.flush t.nvm ~addr:(addr + span) ~len:header_bytes;
       Physmem.Nvm.flush t.nvm ~addr ~len:flush_len;
       Physmem.Nvm.fence t.nvm
     end;
@@ -84,34 +108,52 @@ let entries t = List.rev t.records
 let entry_count t = List.length t.records
 let used_bytes t = t.cursor
 let capacity t = t.capacity
+let recovery_detail t = t.last_recovery
 
-let recover ~nvm ~base ~capacity =
+let recover_gen ~read ~nvm ~base ~capacity =
   let mem = Physmem.Nvm.mem nvm in
-  let t = { nvm; base; capacity; cursor = 0; records = [] } in
+  let read ~addr ~len = Bytes.to_string (read mem ~addr ~len) in
+  let read_le32 addr = Int32.to_int (Bytes.get_int32_le (Bytes.of_string (read ~addr ~len:4)) 0) land 0xFFFFFFFF in
+  let t = { nvm; base; capacity; cursor = 0; records = []; last_recovery = None } in
+  let stop = ref None in
   let rec scan off =
     if off + header_bytes + 1 > capacity then ()
     else begin
-      let len = read_le32 mem (base + off) in
-      let cksum = read_le32 mem (base + off + 4) in
-      if len <= 0 || cksum = 0 || off + record_span len > capacity then ()
+      let hdr = read ~addr:(base + off) ~len:header_bytes in
+      if hdr = String.make header_bytes '\000' then ()
+        (* blank header: clean end of log *)
       else begin
-        let payload =
-          Bytes.to_string (Physmem.Phys_mem.read mem ~addr:(base + off + header_bytes) ~len)
-        in
-        let mark =
-          Physmem.Phys_mem.read_byte mem (base + off + header_bytes + len)
-        in
-        if mark = marker && checksum payload = cksum then begin
-          t.records <- payload :: t.records;
-          t.cursor <- off + record_span len;
-          scan (off + record_span len)
+        let len = read_le32 (base + off) in
+        let cksum = read_le32 (base + off + 4) in
+        let hcrc = read_le32 (base + off + 8) in
+        if
+          hcrc <> checksum (String.sub hdr 0 8)
+          || len <= 0 || cksum = 0
+          || off + record_span len > capacity
+        then stop := Some Bad_header
+        else begin
+          let payload = read ~addr:(base + off + header_bytes) ~len in
+          let mark = (read ~addr:(base + off + header_bytes + len) ~len:1).[0] in
+          if mark <> marker then stop := Some Bad_marker
+          else if checksum payload <> cksum then stop := Some Bad_checksum
+          else begin
+            t.records <- payload :: t.records;
+            t.cursor <- off + record_span len;
+            scan (off + record_span len)
+          end
         end
-        (* else: torn tail — stop, keeping the valid prefix. *)
       end
     end
   in
   scan 0;
+  t.last_recovery <-
+    Some { valid_records = List.length t.records; scanned_bytes = t.cursor; truncated = !stop };
   t
+
+let recover ~nvm ~base ~capacity = recover_gen ~read:Physmem.Phys_mem.read ~nvm ~base ~capacity
+
+let recover_host ~nvm ~base ~capacity =
+  recover_gen ~read:Physmem.Phys_mem.peek ~nvm ~base ~capacity
 
 let reset t =
   (* Zero the first header durably: recovery then sees an empty log. *)
@@ -119,4 +161,5 @@ let reset t =
   Physmem.Nvm.flush t.nvm ~addr:t.base ~len:header_bytes;
   Physmem.Nvm.fence t.nvm;
   t.cursor <- 0;
-  t.records <- []
+  t.records <- [];
+  t.last_recovery <- None

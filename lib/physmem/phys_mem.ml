@@ -219,6 +219,12 @@ let read t ~addr ~len =
   read_raw t ~addr ~len buf;
   buf
 
+let peek t ~addr ~len =
+  check_addr t addr len;
+  let buf = Bytes.create len in
+  read_raw t ~addr ~len buf;
+  buf
+
 let write t ~addr s =
   let len = String.length s in
   check_addr t addr len;

@@ -35,6 +35,9 @@ let site_zero_cache_empty = "zero_cache_empty"
 let site_quota_enospc = "quota_enospc"
 let site_tlb_ack_lost = "tlb_ack_lost"
 let site_durable_step = "durable_step"
+let site_store_commit = "store_commit"
+let site_store_apply = "store_apply"
+let site_store_alloc = "store_alloc"
 
 let all_sites =
   [
@@ -46,6 +49,9 @@ let all_sites =
     site_quota_enospc;
     site_tlb_ack_lost;
     site_durable_step;
+    site_store_commit;
+    site_store_apply;
+    site_store_alloc;
   ]
 
 let disabled =

@@ -101,6 +101,19 @@ val site_durable_step : string
 (** Every clwb/sfence boundary in [Physmem.Nvm]. Firing raises
     {!Injected_crash}; evaluating without firing counts the boundary. *)
 
+val site_store_commit : string
+(** [Store.commit], before the commit record is appended: the store
+    aborts the transaction with a typed EIO instead of committing. *)
+
+val site_store_apply : string
+(** [Store.commit], while applying a committed transaction's redo
+    records in place: the first durable slot write fails once and is
+    retried (charged twice). *)
+
+val site_store_alloc : string
+(** [Store] slot allocation: the heap pretends to be out of arena
+    space, exercising the defragment-and-retry degradation pass. *)
+
 val all_sites : string list
 
 val to_json : t -> Json.t

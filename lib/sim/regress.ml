@@ -229,6 +229,16 @@ let compare_causal acc ~threshold old_doc new_doc =
   | None, None -> ()
   | o, n -> compare_faults_obj acc ~threshold ~section:"causal" (fields o) (fields n)
 
+(* The "store" section (R2): recovery-complexity fits, the crash-explorer
+   counters and the degradation-plan tallies. The walk catches both perf
+   drift (recovery cycles) and robustness drift — a "violations" count
+   going nonzero, a detection count going to zero, or a fit "class"
+   string changing all surface as diffs. *)
+let compare_store acc ~threshold old_doc new_doc =
+  match (path old_doc [ "store" ], path new_doc [ "store" ]) with
+  | None, None -> ()
+  | o, n -> compare_faults_obj acc ~threshold ~section:"store" (fields o) (fields n)
+
 (* Wall-clock ops/sec per scenario: direction is inverted (lower = worse)
    and the numbers are real time, hence noisy — drops only count as
    regressions when the caller opts in with [gate].
@@ -393,6 +403,7 @@ let compare_docs ?(threshold_pct = 10.0) ?(gate_throughput = false) ?(gate_host_
       compare_faults acc ~threshold:threshold_pct old_doc new_doc;
       compare_smp acc ~threshold:threshold_pct old_doc new_doc;
       compare_causal acc ~threshold:threshold_pct old_doc new_doc;
+      compare_store acc ~threshold:threshold_pct old_doc new_doc;
       compare_throughput acc ~threshold:threshold_pct ~gate:gate_throughput old_doc new_doc;
       compare_host acc ~threshold:threshold_pct ~gate_alloc:gate_host_alloc old_doc new_doc;
       Ok { threshold_pct; compared = acc.n; deltas = List.rev acc.rows })

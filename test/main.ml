@@ -20,5 +20,6 @@ let () =
       ("smp", Test_smp.suite);
       ("causal", Test_causal.suite);
       ("faults", Test_faults.suite);
+      ("store", Test_store.suite);
       ("integration", Test_integration.suite);
     ]

@@ -130,11 +130,12 @@ let test_wal_partial_flush_torn_by_crash () =
 
 let test_explore_wal_every_step () =
   let r = O1mem.Chaos.explore_wal ~records:3 ~seed:5 () in
-  (* Each append crosses exactly four durable boundaries: flush(record),
-     fence, flush(marker), fence — the explorer must enumerate all of
-     them, i.e. every clwb batch and every sfence of the workload. *)
-  check_int "steps = 4 per record" 12 r.O1mem.Chaos.steps;
-  check_int "steps = clwb batches + fences" (2 * r.O1mem.Chaos.fences) r.O1mem.Chaos.steps;
+  (* Each append crosses exactly five durable boundaries: flush(blank
+     next header), flush(record), fence, flush(marker), fence — the
+     explorer must enumerate all of them, i.e. every clwb batch and
+     every sfence of the workload. *)
+  check_int "steps = 5 per record" 15 r.O1mem.Chaos.steps;
+  check_int "fences = 2 per record" 6 r.O1mem.Chaos.fences;
   check_int "one crash per step" r.O1mem.Chaos.steps r.O1mem.Chaos.crashes;
   Alcotest.(check (list string)) "no violations" [] r.O1mem.Chaos.violations
 
