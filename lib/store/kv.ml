@@ -13,6 +13,11 @@
    anywhere yields the committed prefix: recovery replays exactly the
    transactions whose commit record survived, and everything else — torn
    records included — is detected by the WAL's checksums and truncated.
+   Every record carries its transaction id and replay only adopts
+   pending ops tagged with the id of the commit record that closes them,
+   so records orphaned by a failed commit (e.g. ENOSPC after the
+   auto-checkpoint retry) are inert even if they linger in the log ahead
+   of a later transaction's records.
 
    Object identity is arena-relative (arena index, byte offset), never a
    virtual address: after a crash the arenas are re-mapped at fresh VAs
@@ -114,9 +119,13 @@ type rec_op =
   | R_clear_root of string
   | R_commit of int
 
-let encode_put k slot v =
+(* Every record opens with [tag; txn id]: replay matches pending ops to
+   their commit record by id, so orphans can never ride a later commit. *)
+
+let encode_put ~id k slot v =
   let b = Buffer.create (String.length k + String.length v + 32) in
   Buffer.add_char b 'P';
+  w32 b id;
   wstr b k;
   w32 b slot.arena;
   w32 b slot.off;
@@ -125,22 +134,25 @@ let encode_put k slot v =
   Buffer.add_string b v;
   Buffer.contents b
 
-let encode_delete k =
-  let b = Buffer.create (String.length k + 8) in
+let encode_delete ~id k =
+  let b = Buffer.create (String.length k + 12) in
   Buffer.add_char b 'D';
+  w32 b id;
   wstr b k;
   Buffer.contents b
 
-let encode_set_root r k =
-  let b = Buffer.create (String.length r + String.length k + 12) in
+let encode_set_root ~id r k =
+  let b = Buffer.create (String.length r + String.length k + 16) in
   Buffer.add_char b 'R';
+  w32 b id;
   wstr b r;
   wstr b k;
   Buffer.contents b
 
-let encode_clear_root r =
-  let b = Buffer.create (String.length r + 8) in
+let encode_clear_root ~id r =
+  let b = Buffer.create (String.length r + 12) in
   Buffer.add_char b 'C';
+  w32 b id;
   wstr b r;
   Buffer.contents b
 
@@ -153,7 +165,9 @@ let encode_commit id =
 let decode payload =
   if payload = "" then invalid_arg "Store: empty record";
   let pos = ref 1 in
-  match payload.[0] with
+  let tag = payload.[0] in
+  let id = r32 payload pos in
+  match tag with
   | 'P' ->
     let k = rstr payload pos in
     let arena = r32 payload pos in
@@ -161,13 +175,13 @@ let decode payload =
     let len = r32 payload pos in
     let cksum = r32 payload pos in
     if !pos + len > String.length payload then invalid_arg "Store: truncated put";
-    R_put (k, { arena; off; len; cksum }, String.sub payload !pos len)
-  | 'D' -> R_delete (rstr payload pos)
+    (id, R_put (k, { arena; off; len; cksum }, String.sub payload !pos len))
+  | 'D' -> (id, R_delete (rstr payload pos))
   | 'R' ->
     let r = rstr payload pos in
-    R_set_root (r, rstr payload pos)
-  | 'C' -> R_clear_root (rstr payload pos)
-  | 'T' -> R_commit (r32 payload pos)
+    (id, R_set_root (r, rstr payload pos))
+  | 'C' -> (id, R_clear_root (rstr payload pos))
+  | 'T' -> (id, R_commit id)
   | c -> invalid_arg (Printf.sprintf "Store: unknown record tag %C" c)
 
 (* Snapshot: generation, then the whole index and root table. *)
@@ -400,15 +414,22 @@ let recover_hook t () =
     t.wal <- w;
     (* Two-phase: fold committed transactions into the final index first,
        then redo value writes — never write a logged value into a slot
-       the final index assigns to someone else (slot reuse). *)
+       the final index assigns to someone else (slot reuse). A commit
+       record adopts only the pending ops tagged with its own txn id:
+       anything else is an orphan of a commit that failed after logging
+       (its id was never committed and ids are never reused), so it is
+       dropped, not replayed. *)
     let pending = ref [] and committed = ref [] in
     List.iter
       (fun payload ->
         match decode payload with
-        | R_commit _ as c ->
-          committed := !committed @ List.rev (c :: !pending);
+        | _, (R_commit cid as c) ->
+          let mine, orphans = List.partition (fun (id, _) -> id = cid) !pending in
+          if orphans <> [] then
+            Sim.Stats.add (stats t) "store_wal_orphans" (List.length orphans);
+          committed := !committed @ List.rev_map snd ((cid, c) :: mine);
           pending := []
-        | op -> pending := op :: !pending
+        | tagged -> pending := tagged :: !pending
         | exception Invalid_argument _ -> pending := [] (* defensive; WAL checksums make this unreachable *))
       (Fs.Wal.entries w);
     let replayed, latest_put = apply_replayed t !committed in
@@ -448,16 +469,17 @@ let create fom proc ?(arena_bytes = Sim.Units.mib 1) ?(wal_bytes = Sim.Units.kib
   | Some p when p == O1mem.Fom.fs fom -> ()
   | _ -> invalid_arg "Store.create: the FOM must live on the persistent file system");
   let fsys = O1mem.Fom.fs fom in
+  (* Creating over an existing store would silently wipe its committed
+     state (both journals are initialised blank below); reopening is not
+     supported, so refuse rather than destroy. *)
   let mk path bytes =
-    let ino =
-      match Fs.Memfs.lookup fsys path with
-      | Some ino -> ino
-      | None ->
-        let ino = Fs.Memfs.create_file fsys path ~persistence:Fs.Inode.Persistent in
-        Fs.Memfs.extend fsys ino ~bytes_wanted:bytes;
-        ino
-    in
-    ino
+    match Fs.Memfs.lookup fsys path with
+    | Some _ ->
+      invalid_arg (Printf.sprintf "Store.create: %s already exists (create never reopens a prior store)" path)
+    | None ->
+      let ino = Fs.Memfs.create_file fsys path ~persistence:Fs.Inode.Persistent in
+      Fs.Memfs.extend fsys ino ~bytes_wanted:bytes;
+      ino
   in
   let wal_ino = mk (name ^ ".wal") wal_bytes in
   let manifest_ino = mk (name ^ ".manifest") manifest_bytes in
@@ -636,10 +658,10 @@ let commit t =
               | None -> assert false (* values are capped below the large threshold *)
             in
             let slot = { arena; off; len = String.length v; cksum = checksum v } in
-            (op, Some slot, encode_put k slot v)
-          | Delete k -> (op, None, encode_delete k)
-          | Set_root (r, k) -> (op, None, encode_set_root r k)
-          | Clear_root r -> (op, None, encode_clear_root r))
+            (op, Some slot, encode_put ~id:txn.id k slot v)
+          | Delete k -> (op, None, encode_delete ~id:txn.id k)
+          | Set_root (r, k) -> (op, None, encode_set_root ~id:txn.id r k)
+          | Clear_root r -> (op, None, encode_clear_root ~id:txn.id r))
         ops
     with e ->
       rollback ();
@@ -663,8 +685,19 @@ let commit t =
        records die with the reset (its commit record never landed) and
        are re-appended whole. *)
     Sim.Stats.incr (stats t) "store_wal_checkpoint";
-    checkpoint_locked t;
+    (try checkpoint_locked t
+     with e ->
+       (* Checkpoint itself failed (e.g. the snapshot outgrew a manifest
+          half): the transaction cannot land. Its partial records stay in
+          the log but are txn-id-tagged, so replay can never attribute
+          them to a later commit. *)
+       rollback ();
+       raise e);
     if not (append_all ()) then begin
+      (* The checkpoint just cut the log, so it now holds only this
+         transaction's partial records: cut them durably so the
+         rolled-back ops can never be replayed. *)
+      Fs.Wal.reset t.wal;
       rollback ();
       Sim.Errno.fail Sim.Errno.ENOSPC "Store.commit: transaction exceeds WAL capacity"
     end

@@ -40,7 +40,9 @@ val create :
     validates every live root maps through a valid FOM extent.
 
     Defaults: 1 MiB arenas, 128 KiB WAL, 128 KiB manifest. Raises
-    [Invalid_argument] for a relative [name] or a volatile FOM. *)
+    [Invalid_argument] for a relative [name], a volatile FOM, or if
+    store files already exist at [name] — create initialises blank
+    journals and never reopens (or silently wipes) a prior store. *)
 
 val detach : t -> unit
 (** Unregister the store's hooks and check rule (for tests that build
@@ -71,7 +73,11 @@ val commit : t -> unit
     consistent: [ENOSPC] (WAL or heap exhausted after one
     checkpoint/defragment-and-retry round) rolls the transaction back;
     an injected [EIO] at the [store_commit] fault site aborts before
-    anything is logged. *)
+    anything is logged. Log records a rolled-back commit leaves behind
+    are durably cut where possible and in any case carry the failed
+    transaction's id, which recovery refuses to attribute to any later
+    commit record — a crash after a failed commit never resurrects its
+    ops. *)
 
 val checkpoint : t -> unit
 (** Snapshot the live index into the inactive manifest half (durably),

@@ -82,6 +82,9 @@ let test_validation () =
   Kv.abort st;
   Alcotest.check_raises "relative name" (Invalid_argument "Store.create: name must be an absolute path")
     (fun () -> ignore (Kv.create fom (K.create_process kernel ()) ~name:"kv" ()));
+  Alcotest.check_raises "create over an existing store"
+    (Invalid_argument "Store.create: /kv.wal already exists (create never reopens a prior store)")
+    (fun () -> ignore (Kv.create fom (K.create_process kernel ()) ~name:"/kv" ()));
   Kv.detach st
 
 (* ------------------------------ recovery ---------------------------- *)
@@ -172,6 +175,61 @@ let test_enospc_typed_and_clean () =
   Alcotest.(check (option string)) "prior state intact" (Some "v") (Kv.get st "seed");
   commit_put st [ ("after", "ok") ] [];
   Alcotest.(check (option string)) "store still usable" (Some "ok") (Kv.get st "after");
+  Kv.detach st
+
+(* A commit that overflows the WAL even after the auto-checkpoint rolls
+   back AND durably cuts its partial records: a crash after a later
+   successful commit must never resurrect the rolled-back ops. *)
+let test_failed_commit_orphans_cut () =
+  let _, fom, _, st = mk_store ~wal_bytes:(Sim.Units.kib 8) () in
+  commit_put st [ ("seed", "v") ] [];
+  (try
+     ignore (Kv.begin_txn st);
+     for j = 1 to 10 do
+       Kv.put st (Printf.sprintf "big%d" j) (String.make 1500 'x')
+     done;
+     Kv.commit st;
+     Alcotest.fail "oversized transaction must raise ENOSPC"
+   with Sim.Errno.Error (Sim.Errno.ENOSPC, _) -> ());
+  check_int "failed attempt's records durably cut" 0 (Kv.wal_record_count st);
+  commit_put st [ ("after", "ok") ] [];
+  ignore (P.crash_and_recover fom);
+  check_bool "rolled-back put not resurrected" false (Kv.mem st "big1");
+  Alcotest.(check (option string)) "seed intact" (Some "v") (Kv.get st "seed");
+  Alcotest.(check (option string)) "later commit intact" (Some "ok") (Kv.get st "after");
+  check_int "self-check clean" 0 (List.length (Kv.verify st));
+  Kv.detach st
+
+(* When the auto-checkpoint itself cannot land (snapshot outgrew a
+   manifest half), the log cannot be cut and the failed commit's records
+   linger ahead of later transactions — replay must refuse to attribute
+   them to a later commit record. *)
+let test_checkpoint_enospc_orphans_inert () =
+  let kernel, fom, _, st =
+    mk_store ~wal_bytes:(Sim.Units.kib 8) ~manifest_bytes:(Sim.Units.kib 1) ()
+  in
+  (* Enough objects that the snapshot no longer fits a 512-byte manifest
+     half: the WAL-full auto-checkpoint fails with ENOSPC mid-commit. *)
+  for i = 0 to 19 do
+    commit_put st [ (Printf.sprintf "seedkey%03d" i, "v") ] []
+  done;
+  (try
+     ignore (Kv.begin_txn st);
+     Kv.put st "bigA" (String.make 3500 'x');
+     Kv.put st "bigB" (String.make 3500 'y');
+     Kv.commit st;
+     Alcotest.fail "commit must raise ENOSPC when the checkpoint cannot land"
+   with Sim.Errno.Error (Sim.Errno.ENOSPC, _) -> ());
+  check_bool "txn rolled back" false (Kv.txn_live st);
+  check_bool "orphan records linger in the log" true (Kv.wal_record_count st > 0);
+  commit_put st [ ("after", "ok") ] [];
+  ignore (P.crash_and_recover fom);
+  check_bool "orphans dropped at replay" true
+    (Sim.Stats.get (K.stats kernel) "store_wal_orphans" >= 1);
+  check_bool "rolled-back put not resurrected" false (Kv.mem st "bigA");
+  Alcotest.(check (option string)) "later commit intact" (Some "ok") (Kv.get st "after");
+  check_int "seeds plus the later commit" 21 (Kv.object_count st);
+  check_int "self-check clean" 0 (List.length (Kv.verify st));
   Kv.detach st
 
 let test_injected_fault_sites () =
@@ -288,6 +346,10 @@ let suite =
     Alcotest.test_case "WAL-full commit auto-checkpoints" `Quick test_wal_full_autocheckpoint;
     Alcotest.test_case "over-capacity commit degrades to typed ENOSPC" `Quick
       test_enospc_typed_and_clean;
+    Alcotest.test_case "failed commit's WAL records are durably cut" `Quick
+      test_failed_commit_orphans_cut;
+    Alcotest.test_case "orphan records of a failed commit are never replayed" `Quick
+      test_checkpoint_enospc_orphans_inert;
     Alcotest.test_case "injected store faults degrade and retry" `Quick test_injected_fault_sites;
     Alcotest.test_case "check rule guards live roots" `Quick test_check_rule_guards_roots;
     prop_torn_wal_byte;
